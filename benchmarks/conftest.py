@@ -1,0 +1,40 @@
+"""Benchmark harness shared plumbing.
+
+Each benchmark regenerates one paper artefact (table or figure) via the
+corresponding :mod:`repro.experiments` module, prints the rows the paper
+reports, and asserts the shape-level expectation.  Set ``REPRO_FULL=1`` to
+run paper-scale repeat counts instead of the fast defaults.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentResult, run_experiment
+
+FULL_SCALE = os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return not FULL_SCALE
+
+
+def run_and_report(
+    benchmark, experiment_id: str, fast: bool, require_met: bool = True
+) -> ExperimentResult:
+    """Run one experiment under pytest-benchmark and print its artefact."""
+    result = benchmark.pedantic(
+        lambda: run_experiment(experiment_id, fast=fast),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.to_text())
+    if require_met:
+        assert result.expectation_met, (
+            f"{experiment_id} failed its shape expectation: {result.expectation}"
+        )
+    return result

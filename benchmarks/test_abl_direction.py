@@ -1,0 +1,7 @@
+"""Benchmark regenerating Ablation - RSS vs phase direction ordering (ablation abl_direction, DESIGN.md §5)."""
+
+from .conftest import run_and_report
+
+
+def test_abl_direction(benchmark, fast_mode):
+    run_and_report(benchmark, "abl_direction", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Ablation - OTSU vs fixed thresholds (ablation abl_otsu, DESIGN.md §5)."""
+
+from .conftest import run_and_report
+
+
+def test_abl_otsu(benchmark, fast_mode):
+    run_and_report(benchmark, "abl_otsu", fast=fast_mode)

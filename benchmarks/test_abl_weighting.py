@@ -1,0 +1,7 @@
+"""Benchmark regenerating Ablation - Eq.10 bias weighting (ablation abl_weighting, DESIGN.md §5)."""
+
+from .conftest import run_and_report
+
+
+def test_abl_weighting(benchmark, fast_mode):
+    run_and_report(benchmark, "abl_weighting", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Ablation - segmentation window size (ablation abl_window, DESIGN.md §5)."""
+
+from .conftest import run_and_report
+
+
+def test_abl_window(benchmark, fast_mode):
+    run_and_report(benchmark, "abl_window", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - holistic vs grammar letters (extension ext_holistic, paper section VI)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_holistic(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_holistic", fast=fast_mode)

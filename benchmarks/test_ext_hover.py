@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - accuracy vs hover height (extension ext_hover, paper section VI)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_hover(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_hover", fast=fast_mode)

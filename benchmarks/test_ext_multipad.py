@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - one reader, two pads (extension ext_multipad, paper section VI)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_multipad(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_multipad", fast=fast_mode)

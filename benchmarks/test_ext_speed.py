@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - hand speed vs link profile (extension ext_speed, paper section VI)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_speed(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_speed", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - trough-anchor trajectory tracking (ext_tracking)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_tracking(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_tracking", fast=fast_mode)

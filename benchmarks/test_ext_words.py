@@ -1,0 +1,7 @@
+"""Benchmark regenerating Extension - word input with lexicon decoding (extension ext_words, paper section VI)."""
+
+from .conftest import run_and_report
+
+
+def test_ext_words(benchmark, fast_mode):
+    run_and_report(benchmark, "ext_words", fast=fast_mode)

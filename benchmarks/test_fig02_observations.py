@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 2 channel parameters static vs hand (paper artefact fig02)."""
+
+from .conftest import run_and_report
+
+
+def test_fig02_observations(benchmark, fast_mode):
+    run_and_report(benchmark, "fig02", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 4 per-tag static phase (tag diversity) (paper artefact fig04)."""
+
+from .conftest import run_and_report
+
+
+def test_fig04_tag_diversity(benchmark, fast_mode):
+    run_and_report(benchmark, "fig04", fast=fast_mode)

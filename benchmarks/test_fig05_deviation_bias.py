@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 5 per-tag phase std (Deviation bias) (paper artefact fig05)."""
+
+from .conftest import run_and_report
+
+
+def test_fig05_deviation_bias(benchmark, fast_mode):
+    run_and_report(benchmark, "fig05", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 6 phase de-periodicity (paper artefact fig06)."""
+
+from .conftest import run_and_report
+
+
+def test_fig06_unwrap(benchmark, fast_mode):
+    run_and_report(benchmark, "fig06", fast=fast_mode)

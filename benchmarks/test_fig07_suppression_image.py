@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 7 grey maps +/- suppression + OTSU (paper artefact fig07)."""
+
+from .conftest import run_and_report
+
+
+def test_fig07_suppression_image(benchmark, fast_mode):
+    run_and_report(benchmark, "fig07", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 8 phase-trend symmetry classes (paper artefact fig08)."""
+
+from .conftest import run_and_report
+
+
+def test_fig08_phase_symmetry(benchmark, fast_mode):
+    run_and_report(benchmark, "fig08", fast=fast_mode)

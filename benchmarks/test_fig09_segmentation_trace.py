@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 9 RMS/std(RMS) while writing H (paper artefact fig09)."""
+
+from .conftest import run_and_report
+
+
+def test_fig09_segmentation_trace(benchmark, fast_mode):
+    run_and_report(benchmark, "fig09", fast=fast_mode)

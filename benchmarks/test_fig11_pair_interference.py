@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 11 pair interference (paper artefact fig11)."""
+
+from .conftest import run_and_report
+
+
+def test_fig11_pair_interference(benchmark, fast_mode):
+    run_and_report(benchmark, "fig11", fast=fast_mode)

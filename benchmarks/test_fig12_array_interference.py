@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 12 array shadowing x tag designs (paper artefact fig12)."""
+
+from .conftest import run_and_report
+
+
+def test_fig12_array_interference(benchmark, fast_mode):
+    run_and_report(benchmark, "fig12", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 13 beam geometry + min distance (paper artefact fig13)."""
+
+from .conftest import run_and_report
+
+
+def test_fig13_antenna_geometry(benchmark, fast_mode):
+    run_and_report(benchmark, "fig13", fast=fast_mode)

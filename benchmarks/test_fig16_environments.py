@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 16 locations +/- suppression (paper artefact fig16)."""
+
+from .conftest import run_and_report
+
+
+def test_fig16_environments(benchmark, fast_mode):
+    run_and_report(benchmark, "fig16", fast=fast_mode)

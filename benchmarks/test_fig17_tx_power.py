@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 17 error vs TX power (paper artefact fig17)."""
+
+from .conftest import run_and_report
+
+
+def test_fig17_tx_power(benchmark, fast_mode):
+    run_and_report(benchmark, "fig17", fast=fast_mode)

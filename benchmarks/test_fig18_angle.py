@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 18 accuracy vs reader angle (paper artefact fig18)."""
+
+from .conftest import run_and_report
+
+
+def test_fig18_angle(benchmark, fast_mode):
+    run_and_report(benchmark, "fig18", fast=fast_mode)

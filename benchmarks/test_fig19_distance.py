@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 19 error vs reader distance (paper artefact fig19)."""
+
+from .conftest import run_and_report
+
+
+def test_fig19_distance(benchmark, fast_mode):
+    run_and_report(benchmark, "fig19", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 20 accuracy across ten users (paper artefact fig20)."""
+
+from .conftest import run_and_report
+
+
+def test_fig20_users(benchmark, fast_mode):
+    run_and_report(benchmark, "fig20", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 21 stroke time CDF (paper artefact fig21)."""
+
+from .conftest import run_and_report
+
+
+def test_fig21_time_cdf(benchmark, fast_mode):
+    run_and_report(benchmark, "fig21", fast=fast_mode)

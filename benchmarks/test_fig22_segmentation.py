@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 22 segmentation + letters L,T,Z,H,E (paper artefact fig22)."""
+
+from .conftest import run_and_report
+
+
+def test_fig22_segmentation(benchmark, fast_mode):
+    run_and_report(benchmark, "fig22", fast=fast_mode)

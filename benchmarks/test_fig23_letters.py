@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 23 alphabet accuracy (paper artefact fig23)."""
+
+from .conftest import run_and_report
+
+
+def test_fig23_letters(benchmark, fast_mode):
+    run_and_report(benchmark, "fig23", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 24 response time per motion (paper artefact fig24)."""
+
+from .conftest import run_and_report
+
+
+def test_fig24_latency(benchmark, fast_mode):
+    run_and_report(benchmark, "fig24", fast=fast_mode)

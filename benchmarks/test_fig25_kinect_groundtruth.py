@@ -1,0 +1,7 @@
+"""Benchmark regenerating Fig. 25 Kinect vs RFIPad trajectory (paper artefact fig25)."""
+
+from .conftest import run_and_report
+
+
+def test_fig25_kinect_groundtruth(benchmark, fast_mode):
+    run_and_report(benchmark, "fig25", fast=fast_mode)

@@ -1,0 +1,7 @@
+"""Benchmark regenerating Table I LOS vs NLOS motion accuracy (paper artefact tab1)."""
+
+from .conftest import run_and_report
+
+
+def test_tab1_los_nlos(benchmark, fast_mode):
+    run_and_report(benchmark, "tab1", fast=fast_mode)

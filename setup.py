@@ -1,0 +1,8 @@
+"""Setup shim: lets editable installs work on offline machines without the
+``wheel`` package (``pip install -e . --no-use-pep517``).  All metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

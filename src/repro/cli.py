@@ -1,0 +1,233 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``        list all registered experiments
+``run <id> [...]``     run experiments and print their artefacts
+``demo motion``        recognise the 13-motion battery live
+``demo letter <L>``    write one letter and show the pipeline's view
+``demo word <WORD>``   write a word (letters clustered by pauses)
+``inspect``            dump the signal views of a single-motion session
+``record <path>``      simulate a session and save its report stream (JSONL)
+``replay <path>``      run the pipeline on a saved capture
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import analysis
+from .experiments import ALL_EXPERIMENTS, run_experiment
+from .motion.script import script_for_letter, script_for_motion, script_for_word
+from .motion.strokes import Motion, StrokeKind, all_motions
+from .sim.runner import SessionRunner
+from .sim.scenario import ScenarioConfig, build_scenario
+
+
+def _make_runner(args: argparse.Namespace) -> SessionRunner:
+    return SessionRunner(
+        build_scenario(
+            ScenarioConfig(
+                seed=args.seed,
+                mount=args.mount,
+                location=args.location,
+                tx_power_dbm=args.power,
+            )
+        )
+    )
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    for eid in ALL_EXPERIMENTS:
+        print(eid)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    ids = args.ids if args.ids else ALL_EXPERIMENTS
+    failures = 0
+    for eid in ids:
+        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        print(result.to_text())
+        print()
+        if result.expectation_met is False:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) missed their shape expectation",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_demo_motion(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    correct = 0
+    motions = all_motions()
+    for motion in motions:
+        trial = runner.run_motion(motion)
+        obs = trial.observed
+        mark = "ok " if trial.fully_correct else "** "
+        correct += trial.fully_correct
+        print(f"{mark}{motion.label:4s} -> {obs.label if obs else '(none)'}")
+    print(f"\n{correct}/{len(motions)} motions correct")
+    return 0
+
+
+def cmd_demo_letter(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    script = script_for_letter(args.letter, runner.rng)
+    log = runner.run_script(script)
+    result = runner.pad.recognize_letter(log)
+    print(f"wrote {args.letter!r}: read {result.letter!r} "
+          f"(tokens {result.stroke_tokens})")
+    print(f"candidates: {[(l, round(s, 2)) for l, s in result.candidates[:5]]}\n")
+    print(analysis.session_summary(log, runner.pad.calibration))
+    for i, stroke in enumerate(result.strokes, 1):
+        print(f"\nstroke {i} ({stroke.label}):")
+        print(stroke.binary.ascii_art())
+    return 0
+
+
+def cmd_demo_word(args: argparse.Namespace) -> int:
+    from .core.words import WordDecoder, WordRecognizer
+
+    runner = _make_runner(args)
+    script = script_for_word(args.word, runner.rng)
+    log = runner.run_script(script)
+    lexicon = args.lexicon.split(",") if args.lexicon else []
+    recognizer = WordRecognizer(runner.pad, decoder=WordDecoder(lexicon=lexicon))
+    result = recognizer.recognize_word(log)
+    print(f"wrote {args.word!r}: raw {result.raw!r}, decoded {result.text!r}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    kind = StrokeKind[args.stroke.upper()]
+    script = script_for_motion(Motion(kind), runner.rng)
+    log = runner.run_script(script)
+    print(analysis.session_summary(log, runner.pad.calibration))
+    print("\nper-tag |phase residual|:")
+    for line in analysis.phase_sparklines(log, runner.pad.calibration):
+        print(" ", line)
+    print("\nper-tag RSS dip:")
+    for line in analysis.rss_sparklines(log, runner.pad.calibration):
+        print(" ", line)
+    obs = runner.pad.detect_motion(log)
+    print(f"\nrecognised: {obs.label if obs else '(nothing)'}")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    from .rfid.capture import dump_log
+
+    runner = _make_runner(args)
+    if args.letter:
+        script = script_for_letter(args.letter, runner.rng)
+        label = args.letter
+    else:
+        kind = StrokeKind[args.stroke.upper()]
+        script = script_for_motion(Motion(kind), runner.rng)
+        label = kind.name
+    log = runner.run_script(script)
+    # The calibration capture travels with the session: a replayed capture
+    # must be interpretable without re-simulating the deployment.
+    static_path = args.path + ".calibration"
+    dump_log(runner.static_log, static_path, metadata={"kind": "static"})
+    count = dump_log(log, args.path, metadata={"label": label, "seed": args.seed})
+    print(f"recorded {count} reads to {args.path} "
+          f"(+ calibration capture {static_path})")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    from .core.pipeline import RFIPad
+    from .physics.geometry import GridLayout
+    from .rfid.capture import load_log, load_metadata
+
+    log = load_log(args.path)
+    meta = load_metadata(args.path)
+    pad = RFIPad(GridLayout(rows=args.rows, cols=args.cols))
+    pad.calibrate_from(load_log(args.path + ".calibration"))
+    print(f"replaying {args.path}: {len(log)} reads, metadata {meta}")
+    result = pad.recognize_letter(log)
+    if result.letter is not None or len(result.strokes) > 1:
+        print(f"letter: {result.letter!r} (tokens {result.stroke_tokens})")
+    else:
+        obs = pad.detect_motion(log)
+        print(f"motion: {obs.label if obs else '(nothing)'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RFIPad reproduction: experiments and demos on a simulated pad",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--mount", choices=("nlos", "los"), default="nlos")
+    parser.add_argument("--location", type=int, choices=(1, 2, 3, 4), default=2)
+    parser.add_argument("--power", type=float, default=30.0, help="TX power, dBm")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment ids")
+
+    p_run = sub.add_parser("run", help="run experiments and print artefacts")
+    p_run.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+    p_run.add_argument("--full", action="store_true", help="paper-scale repeats")
+
+    p_demo = sub.add_parser("demo", help="interactive-style demos")
+    demo_sub = p_demo.add_subparsers(dest="demo", required=True)
+    demo_sub.add_parser("motion", help="run the 13-motion battery")
+    p_letter = demo_sub.add_parser("letter", help="write one letter")
+    p_letter.add_argument("letter")
+    p_word = demo_sub.add_parser("word", help="write a word")
+    p_word.add_argument("word")
+    p_word.add_argument("--lexicon", default="", help="comma-separated lexicon")
+
+    p_inspect = sub.add_parser("inspect", help="signal views of one stroke session")
+    p_inspect.add_argument(
+        "--stroke", default="vbar",
+        choices=[k.name.lower() for k in StrokeKind],
+    )
+
+    p_record = sub.add_parser("record", help="simulate + save a session capture")
+    p_record.add_argument("path")
+    p_record.add_argument("--letter", default="", help="record a letter session")
+    p_record.add_argument(
+        "--stroke", default="vbar",
+        choices=[k.name.lower() for k in StrokeKind],
+    )
+
+    p_replay = sub.add_parser("replay", help="run the pipeline on a capture")
+    p_replay.add_argument("path")
+    p_replay.add_argument("--rows", type=int, default=5)
+    p_replay.add_argument("--cols", type=int, default=5)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        return cmd_experiments(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "demo":
+        if args.demo == "motion":
+            return cmd_demo_motion(args)
+        if args.demo == "letter":
+            return cmd_demo_letter(args)
+        if args.demo == "word":
+            return cmd_demo_word(args)
+    if args.command == "inspect":
+        return cmd_inspect(args)
+    if args.command == "record":
+        return cmd_record(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

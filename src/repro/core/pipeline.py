@@ -1,0 +1,198 @@
+"""RFIPad end-to-end: report stream in, strokes and letters out.
+
+The :class:`RFIPad` object owns the deployment's static calibration plus
+the stage configs, and exposes the two entry points the paper evaluates:
+
+* :meth:`RFIPad.detect_motion` — one-shot motion/stroke recognition over a
+  window (Table I, Figs. 16-21, 24);
+* :meth:`RFIPad.recognize_letter` — segmentation + per-stroke recognition
+  + tree-grammar composition over a whole writing session (Figs. 22-23).
+
+No training is involved anywhere — matching the paper's "no training
+period" claim, every stage is closed-form signal processing over the
+calibration capture.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..motion.strokes import Direction, StrokeKind
+from ..physics.geometry import GridLayout
+from ..rfid.reports import ReportLog
+from .calibration import StaticCalibration, calibrate
+from .classifier import ClassifierConfig, classify_shape
+from .direction import (
+    DirectionConfig,
+    detect_troughs,
+    estimate_direction,
+    passage_order,
+    trough_path,
+)
+from .events import LetterResult, SegmentedWindow, StrokeObservation
+from .grammar import TreeGrammar
+from .imaging import render_grey_map
+from .otsu import binarize
+from .segmentation import SegmentationConfig, auto_threshold, segment_strokes
+from .suppression import accumulative_differences
+
+
+@dataclass
+class RFIPadConfig:
+    """Bundle of stage configurations."""
+
+    classifier: ClassifierConfig = field(default_factory=ClassifierConfig)
+    direction: DirectionConfig = field(default_factory=DirectionConfig)
+    segmentation: SegmentationConfig = field(default_factory=SegmentationConfig)
+    #: Use the diversity-suppressed image (Eq. 8-10).  Disabled only by the
+    #: ablation experiments (Fig. 7a / Fig. 16 "without suppression").
+    diversity_suppression: bool = True
+    #: Apply the Eq. 9/10 inverse-bias weighting on top of calibration.
+    #: Disabled only by the weighting ablation.
+    bias_weighting: bool = True
+
+
+class RFIPad:
+    """The recognition pipeline bound to one deployed pad."""
+
+    def __init__(
+        self,
+        layout: GridLayout,
+        calibration: Optional[StaticCalibration] = None,
+        config: Optional[RFIPadConfig] = None,
+        grammar: Optional[TreeGrammar] = None,
+    ) -> None:
+        self.layout = layout
+        self.calibration = calibration
+        self.config = config if config is not None else RFIPadConfig()
+        self.grammar = grammar if grammar is not None else TreeGrammar()
+
+    # ------------------------------------------------------------------
+    # Calibration
+    # ------------------------------------------------------------------
+
+    def calibrate_from(self, static_log: ReportLog, tune_segmentation: bool = True) -> None:
+        """Ingest a no-hand capture: per-tag statistics + threshold tuning."""
+        self.calibration = calibrate(static_log)
+        if tune_segmentation:
+            import dataclasses
+
+            old = self.config.segmentation
+            threshold = auto_threshold(static_log, self.calibration, old)
+            # noise_floor: safely above idle flutter (the auto threshold is
+            # factor=14 above the static 90th percentile; 3x is the floor).
+            noise_floor = max(0.05, threshold * 3.0 / 14.0)
+            self.config.segmentation = dataclasses.replace(
+                old, threshold=threshold, noise_floor=noise_floor
+            )
+
+    def _require_calibration(self) -> StaticCalibration:
+        if self.calibration is None:
+            raise RuntimeError(
+                "RFIPad is not calibrated; run calibrate_from() on a static capture first"
+            )
+        return self.calibration
+
+    # ------------------------------------------------------------------
+    # Stroke recognition
+    # ------------------------------------------------------------------
+
+    def analyze_window(
+        self, log: ReportLog, t0: Optional[float] = None, t1: Optional[float] = None
+    ) -> Optional[StrokeObservation]:
+        """Recognise the stroke drawn within [t0, t1) of the log.
+
+        Returns ``None`` when the window contains no classifiable
+        disturbance (empty OTSU foreground).
+        """
+        cal = self._require_calibration()
+        supp = accumulative_differences(
+            log, cal, t0, t1, bias_weighting=self.config.bias_weighting
+        )
+        values = supp.suppressed if self.config.diversity_suppression else supp.raw
+        grey = render_grey_map(values, self.layout)
+        binary = binarize(grey)
+        # Troughs are detected over *all* calibrated tags, not just OTSU
+        # foreground: with very short strokes OTSU can keep only the single
+        # deepest cell, and restricting would then drop the real troughs
+        # that trace the rest of the pass.
+        troughs = detect_troughs(log, cal, t0, t1, self.config.direction)
+        path = trough_path(troughs, self.layout, self.config.direction)
+        win_lo = t0 if t0 is not None else (log.start_time if len(log) else 0.0)
+        win_hi = t1 if t1 is not None else (log.end_time if len(log) else 0.0)
+        decision = classify_shape(
+            grey, binary, self.config.classifier, path, window_s=max(0.0, win_hi - win_lo)
+        )
+        if decision is None:
+            return None
+
+        direction, dir_confidence = estimate_direction(
+            decision.kind, troughs, self.layout, decision.opening, self.config.direction
+        )
+
+        win_t0, win_t1 = win_lo, win_hi
+        return StrokeObservation(
+            kind=decision.kind,
+            direction=direction,
+            token=decision.token,
+            t0=win_t0,
+            t1=win_t1,
+            confidence=min(decision.confidence, 0.5 + 0.5 * dir_confidence),
+            opening=decision.opening,
+            features=decision.features,
+            grey=grey,
+            binary=binary,
+            trough_order=passage_order(troughs),
+            line_angle_deg=decision.line_angle_deg,
+        )
+
+    def detect_motion(self, log: ReportLog) -> Optional[StrokeObservation]:
+        """One-shot motion detection for a single-motion session.
+
+        Segments the log first so lead-in/lead-out quiet periods don't
+        dilute the image; falls back to whole-log analysis when the
+        segmenter finds nothing (e.g. very gentle motions).
+        """
+        cal = self._require_calibration()
+        windows = segment_strokes(log, cal, self.config.segmentation)
+        if windows:
+            widest = max(windows, key=lambda w: w.duration)
+            return self.analyze_window(log, widest.t0, widest.t1)
+        return self.analyze_window(log)
+
+    # ------------------------------------------------------------------
+    # Letter recognition
+    # ------------------------------------------------------------------
+
+    def segment(self, log: ReportLog) -> List[SegmentedWindow]:
+        cal = self._require_calibration()
+        return segment_strokes(log, cal, self.config.segmentation)
+
+    def recognize_letter(self, log: ReportLog) -> LetterResult:
+        """Full letter pipeline: segment, classify each stroke, compose."""
+        windows = self.segment(log)
+        strokes: List[StrokeObservation] = []
+        for w in windows:
+            obs = self.analyze_window(log, w.t0, w.t1)
+            if obs is not None:
+                strokes.append(obs)
+        return self.grammar.recognize(strokes, windows)
+
+    # ------------------------------------------------------------------
+    # Latency instrumentation (Fig. 24)
+    # ------------------------------------------------------------------
+
+    def timed_detect_motion(
+        self, log: ReportLog
+    ) -> Tuple[Optional[StrokeObservation], float]:
+        """Detect a motion and report the wall-clock compute latency.
+
+        The paper's response time is "between when a volunteer finishes one
+        motion and when the motion is correctly reported" — with the report
+        stream already buffered, that is the pipeline compute time.
+        """
+        start = time.perf_counter()
+        result = self.detect_motion(log)
+        return result, time.perf_counter() - start

@@ -1,0 +1,255 @@
+"""Stroke segmentation from continuous phase streams (section III-C.1).
+
+People pause briefly between strokes (the *adjustment interval*), raising
+the hand to the next start position.  During a stroke every tag's phase is
+in motion; during the interval all tags are comparatively quiet.  The
+paper's detector:
+
+* slice the stream into non-overlapping 100 ms *frames*;
+* per frame, compute the RMS of the calibrated phase residuals summed over
+  tags (Eq. 11) — robust to the MAC's uneven per-tag sampling;
+* group ``window_frames`` (default 5 = 0.5 s) consecutive frames into a
+  window and mark the window active when ``std(rms) > thre`` (Eq. 12);
+* merge overlapping active windows into stroke segments.
+
+``thre`` is "empirically determined" in the paper; we provide
+:func:`auto_threshold`, which calibrates it from a static capture so the
+detector adapts to the deployment's noise level.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rfid.reports import ReportLog
+from .calibration import StaticCalibration
+from .events import SegmentedWindow
+from .otsu import otsu_threshold
+from .unwrap import fold_to_pi
+
+
+@dataclass(frozen=True)
+class SegmentationConfig:
+    frame_s: float = 0.1           # paper: 100 ms frames
+    window_frames: int = 5         # paper: 0.5 s windows
+    threshold: float = 0.5         # std(rms) gate; see auto_threshold
+    #: Hard lower bound on the effective gate, calibrated from the static
+    #: noise level.  The gate adapts *down* towards 0.25x the session's
+    #: peak std(rms) — strong strokes plateau and their windows' std dips,
+    #: so a fixed high gate would punch holes mid-stroke — but never below
+    #: this floor, so a hand-free log still yields zero windows.
+    noise_floor: float = 0.05
+    min_stroke_s: float = 0.22     # discard blips shorter than this
+    merge_gap_s: float = 0.12      # bridge dips inside one stroke
+    #: Valley split: a run of >= 2 frames inside a detected segment whose
+    #: RMS drops below this fraction of the segment's median RMS is an
+    #: adjustment interval the std gate failed to open — split there.
+    valley_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.frame_s <= 0.0:
+            raise ValueError("frame length must be positive")
+        if self.window_frames < 2:
+            raise ValueError("a window needs at least 2 frames")
+        if self.threshold < 0.0:
+            raise ValueError("threshold must be non-negative")
+
+
+def frame_rms(
+    log: ReportLog,
+    calibration: StaticCalibration,
+    frame_s: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-frame RMS of calibrated phase residuals (Eq. 11).
+
+    Returns ``(frame_start_times, rms_values)``.  Frames with no reads at
+    all carry RMS 0 (an idle pad is a quiet pad).
+    """
+    if len(log) == 0:
+        return np.array([]), np.array([])
+    t_start, t_end = log.start_time, log.end_time
+    n_frames = max(1, int(math.ceil((t_end - t_start) / frame_s)))
+    sums = np.zeros(n_frames)  # per-frame sum over tags of sqrt(mean(p^2))
+
+    per_tag = log.per_tag()
+    for idx, series in per_tag.items():
+        if idx not in calibration.tags:
+            continue
+        centre = calibration.central_phase(idx)
+        residuals = np.array([fold_to_pi(p - centre) for p in series.phases])
+        frames = np.minimum(
+            ((series.timestamps - t_start) / frame_s).astype(int), n_frames - 1
+        )
+        for f in range(n_frames):
+            mask = frames == f
+            n = int(mask.sum())
+            if n == 0:
+                continue
+            sums[f] += math.sqrt(float((residuals[mask] ** 2).mean()))
+
+    times = t_start + frame_s * np.arange(n_frames)
+    return times, sums
+
+
+def window_std(rms: np.ndarray, window_frames: int) -> np.ndarray:
+    """Sliding std of the frame RMS (stride 1 frame), length = len(rms).
+
+    Window ``i`` covers frames ``[i, i + window_frames)``; trailing windows
+    shrink at the stream end rather than disappearing, so late strokes are
+    still detectable.
+    """
+    n = rms.size
+    out = np.zeros(n)
+    for i in range(n):
+        chunk = rms[i : i + window_frames]
+        out[i] = float(chunk.std()) if chunk.size >= 2 else 0.0
+    return out
+
+
+def segment_strokes(
+    log: ReportLog,
+    calibration: StaticCalibration,
+    config: SegmentationConfig = SegmentationConfig(),
+) -> List[SegmentedWindow]:
+    """Detect stroke windows in a session log (Eq. 11-12 + merging)."""
+    times, rms = frame_rms(log, calibration, config.frame_s)
+    if rms.size == 0:
+        return []
+    stds = window_std(rms, config.window_frames)
+    peak = float(np.percentile(stds, 98.0)) if stds.size else 0.0
+    gate = max(config.noise_floor, min(config.threshold, 0.25 * peak))
+    active = stds > gate
+
+    # An active window marks its *centre* frame.  Marking the whole span
+    # would let windows that straddle a stroke edge paint the neighbouring
+    # adjustment interval as active and bridge consecutive strokes — the
+    # centre frame keeps the temporal resolution of the stride-1 sweep.
+    frame_active = np.zeros(rms.size, dtype=bool)
+    half = config.window_frames // 2
+    for i in range(rms.size):
+        if active[i]:
+            frame_active[min(rms.size - 1, i + half)] = True
+
+    segments: List[SegmentedWindow] = []
+    i = 0
+    while i < rms.size:
+        if not frame_active[i]:
+            i += 1
+            continue
+        j = i
+        while j < rms.size and frame_active[j]:
+            j += 1
+        t0 = float(times[i])
+        t1 = float(times[j - 1] + config.frame_s)
+        peak = float(stds[i:j].max()) if j > i else 0.0
+        segments.append(SegmentedWindow(t0, t1, peak))
+        i = j
+
+    segments = _merge_close(segments, config.merge_gap_s)
+    segments = _split_valleys(segments, times, rms, stds, config)
+    return [s for s in segments if s.duration >= config.min_stroke_s]
+
+
+def _split_valleys(
+    segments: List[SegmentedWindow],
+    times: np.ndarray,
+    rms: np.ndarray,
+    stds: np.ndarray,
+    config: SegmentationConfig,
+) -> List[SegmentedWindow]:
+    """Split merged segments at sustained RMS valleys.
+
+    std(rms) stays elevated while the hand climbs into / descends out of an
+    adjustment interval, so two strokes separated by a short pause can fuse
+    into one segment.  The RMS *level*, however, dips while the hand is up;
+    a sustained dip well below the segment's median is such a pause.
+    """
+    out: List[SegmentedWindow] = []
+    for seg in segments:
+        lo = int(np.searchsorted(times, seg.t0 - 1e-9))
+        hi = int(np.searchsorted(times, seg.t1 - 1e-9))
+        chunk = rms[lo:hi]
+        if chunk.size < 6:
+            out.append(seg)
+            continue
+        # Two-term gate: the median alone underestimates the stroke level
+        # when a long adjustment period is fused into the segment (it drags
+        # the median down), so the 75th percentile — dominated by genuine
+        # stroke frames — provides the backstop.
+        gate = max(
+            config.valley_fraction * float(np.median(chunk)),
+            0.3 * float(np.percentile(chunk, 75.0)),
+        )
+        quiet = chunk < gate
+        # Find sustained quiet runs strictly inside the segment.
+        pieces: List[Tuple[int, int]] = []
+        start = 0
+        i = 1
+        while i < chunk.size:
+            if quiet[i] and i + 1 < chunk.size and quiet[i + 1]:
+                j = i
+                while j < chunk.size and quiet[j]:
+                    j += 1
+                if i > start:
+                    pieces.append((start, i))
+                start = j
+                i = j + 1
+            else:
+                i += 1
+        pieces.append((start, chunk.size))
+        if len(pieces) == 1:
+            out.append(seg)
+            continue
+        for a, b in pieces:
+            if b <= a:
+                continue
+            t0 = float(times[lo + a])
+            t1 = float(times[lo + b - 1] + config.frame_s)
+            peak = float(stds[lo + a : lo + b].max()) if b > a else seg.peak_std_rms
+            out.append(SegmentedWindow(t0, t1, peak))
+    return out
+
+
+def _merge_close(segments: List[SegmentedWindow], gap: float) -> List[SegmentedWindow]:
+    if not segments:
+        return []
+    merged = [segments[0]]
+    for seg in segments[1:]:
+        last = merged[-1]
+        if seg.t0 - last.t1 <= gap:
+            merged[-1] = SegmentedWindow(last.t0, seg.t1, max(last.peak_std_rms, seg.peak_std_rms))
+        else:
+            merged.append(seg)
+    return merged
+
+
+def auto_threshold(
+    static_log: ReportLog,
+    calibration: StaticCalibration,
+    config: SegmentationConfig = SegmentationConfig(),
+    factor: float = 14.0,
+    floor: float = 0.08,
+    cap: float = 1.4,
+) -> float:
+    """Calibrate ``thre`` from a no-hand capture.
+
+    The static std(rms) distribution sets the noise scale; scaling its high
+    percentile by ``factor`` puts the gate above both idle flutter *and*
+    the residual activity of the raised hand during adjustment intervals
+    (the hand at ~20 cm still stirs the pad slightly), while staying well
+    below stroke activity — stroke windows raise std(rms) by another order
+    of magnitude (cf. Fig. 9).
+    """
+    times, rms = frame_rms(static_log, calibration, config.frame_s)
+    if rms.size < config.window_frames:
+        raise ValueError("static capture too short to calibrate the threshold")
+    stds = window_std(rms, config.window_frames)
+    reference = float(np.percentile(stds, 90.0))
+    # The cap matters in multipath-rich deployments: scaling a high static
+    # noise floor by `factor` would push the gate into genuine stroke
+    # territory and truncate windows; stroke std(rms) starts well above 1.
+    return min(cap, max(floor, factor * reference))

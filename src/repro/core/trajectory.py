@@ -1,0 +1,123 @@
+"""Coarse hand-trajectory reconstruction from the report stream.
+
+The paper overlays RFIPad's grey maps with Kinect tracks (Fig. 25) but
+never produces a *trajectory* itself.  This module closes that gap using
+only signals the pipeline already computes:
+
+* each RSS trough gives a (tag position, passage time) anchor — the hand
+  was over that tag at that moment;
+* anchors are weighted by trough depth and interpolated in time, giving a
+  continuous estimate of the hand's (x, y) path over the pad.
+
+The result is deliberately humble — tag-pitch resolution, xy only — but
+it turns the pad into a crude *tracker*, and the ``ext_tracking``-style
+comparison in the tests quantifies it against the simulated Kinect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..physics.geometry import GridLayout, Vec3
+from .direction import Trough
+
+
+@dataclass(frozen=True)
+class TrajectoryEstimate:
+    """A time-parametrised xy path over the pad (plane coordinates, m)."""
+
+    times: np.ndarray      # (n,)
+    points: np.ndarray     # (n, 2): x, y in the plane frame
+
+    def __len__(self) -> int:
+        return int(self.times.size)
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        """Linear interpolation, clamped at the ends."""
+        if self.times.size == 0:
+            raise ValueError("empty trajectory")
+        x = float(np.interp(t, self.times, self.points[:, 0]))
+        y = float(np.interp(t, self.times, self.points[:, 1]))
+        return x, y
+
+    def path_length(self) -> float:
+        if self.times.size < 2:
+            return 0.0
+        return float(np.sqrt(np.diff(self.points, axis=0) ** 2).sum(axis=1).sum())
+
+
+def reconstruct_trajectory(
+    troughs: Sequence[Trough],
+    layout: GridLayout,
+    samples_per_segment: int = 8,
+    smooth: int = 3,
+) -> Optional[TrajectoryEstimate]:
+    """Interpolate trough anchors into a continuous path.
+
+    Returns ``None`` with fewer than two anchors.  Anchors are sorted by
+    time, averaged with a ``smooth``-point moving window (depth-weighted)
+    to tame trough-time jitter, then linearly upsampled.
+    """
+    if len(troughs) < 2:
+        return None
+    ordered = sorted(troughs, key=lambda tr: tr.time)
+    anchor_t = np.array([tr.time for tr in ordered])
+    weights = np.array([tr.depth_db for tr in ordered])
+    anchor_xy = np.array(
+        [
+            [layout.position(*layout.row_col(tr.tag_index)).x,
+             layout.position(*layout.row_col(tr.tag_index)).y]
+            for tr in ordered
+        ]
+    )
+
+    # Depth-weighted moving average over `smooth` anchors.
+    if smooth > 1 and len(ordered) > 2:
+        smoothed = np.empty_like(anchor_xy)
+        half = smooth // 2
+        for i in range(len(ordered)):
+            lo = max(0, i - half)
+            hi = min(len(ordered), i + half + 1)
+            w = weights[lo:hi]
+            smoothed[i] = (anchor_xy[lo:hi] * w[:, None]).sum(axis=0) / w.sum()
+        anchor_xy = smoothed
+
+    # Upsample each inter-anchor segment.
+    times: List[float] = []
+    points: List[np.ndarray] = []
+    for i in range(len(ordered) - 1):
+        t0, t1 = anchor_t[i], anchor_t[i + 1]
+        n = samples_per_segment if t1 > t0 else 1
+        for k in range(n):
+            frac = k / n
+            times.append(float(t0 + (t1 - t0) * frac))
+            points.append(anchor_xy[i] + (anchor_xy[i + 1] - anchor_xy[i]) * frac)
+    times.append(float(anchor_t[-1]))
+    points.append(anchor_xy[-1])
+    return TrajectoryEstimate(times=np.array(times), points=np.array(points))
+
+
+def trajectory_error(
+    estimate: TrajectoryEstimate,
+    reference: Sequence[Tuple[float, Vec3]],
+) -> float:
+    """Mean xy distance between the estimate and a (t, position) reference.
+
+    Only reference samples inside the estimate's time span count — the
+    reconstruction cannot speak to times it has no anchors for.
+    """
+    if len(estimate) == 0:
+        raise ValueError("empty estimate")
+    t_lo, t_hi = float(estimate.times[0]), float(estimate.times[-1])
+    errors = []
+    for t, pos in reference:
+        if not (t_lo <= t <= t_hi):
+            continue
+        ex, ey = estimate.position_at(t)
+        errors.append(float(np.hypot(ex - pos.x, ey - pos.y)))
+    if not errors:
+        raise ValueError("reference never overlaps the estimate's time span")
+    return float(np.mean(errors))

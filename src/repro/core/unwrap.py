@@ -1,0 +1,90 @@
+"""Phase de-periodicity (section III-A.3, Fig. 6).
+
+Reader-reported phase lives in [0, 2*pi) and jumps across the boundary as
+the channel drifts; accumulative phase differences computed on the wrapped
+values would see spurious ~2*pi steps.  ``unwrap`` removes the periodicity
+by folding successive differences into (-pi, pi] — the method of the CBID
+system the paper adopts (reference [14]).
+
+Implemented from scratch (not ``np.unwrap``) so the exact fold conventions
+are pinned by our tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from ..units import TWO_PI
+
+
+def fold_to_pi(delta: float) -> float:
+    """Fold a phase difference into the principal branch (-pi, pi]."""
+    folded = math.fmod(delta + math.pi, TWO_PI)
+    if folded <= 0.0:
+        folded += TWO_PI
+    return folded - math.pi
+
+
+def unwrap(phases: Sequence[float]) -> np.ndarray:
+    """Unwrap a wrapped phase sequence into a continuous trend.
+
+    The first sample is kept as-is; every subsequent sample moves by the
+    folded difference from its predecessor, so the output never jumps by
+    more than pi between samples.
+
+    >>> import numpy as np
+    >>> out = unwrap([6.2, 0.1, 0.3])
+    >>> bool(abs(out[1] - out[0]) < np.pi)
+    True
+    """
+    arr = np.asarray(phases, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D sequence, got shape {arr.shape}")
+    if arr.size == 0:
+        return arr.copy()
+    out = np.empty_like(arr)
+    out[0] = arr[0]
+    prev_wrapped = arr[0]
+    prev_out = arr[0]
+    for i in range(1, arr.size):
+        delta = fold_to_pi(arr[i] - prev_wrapped)
+        prev_out = prev_out + delta
+        out[i] = prev_out
+        prev_wrapped = arr[i]
+    return out
+
+
+def unwrap_residual(phases: Sequence[float], reference: float) -> np.ndarray:
+    """Subtract a (circular) reference phase, then unwrap the residual.
+
+    This is the calibration-then-unwrap order of the paper's Eq. 8: each
+    sample is first reduced modulo 2*pi against the tag's static mean, so
+    the residual trend vibrates around zero; the residual is then unwrapped
+    so accumulative differences see no periodicity artefacts.
+    """
+    arr = np.asarray(phases, dtype=float)
+    residual = np.array([fold_to_pi(p - reference) for p in arr])
+    return unwrap(residual)
+
+
+def total_variation(values: Sequence[float]) -> float:
+    """Sum of absolute successive differences — the 'accumulative phase
+    difference' primitive of Eq. 5/10."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    return float(np.abs(np.diff(arr)).sum())
+
+
+def largest_jump(phases: Sequence[float]) -> float:
+    """Largest absolute successive difference of a raw (wrapped) series.
+
+    Diagnostic used by tests: after unwrapping this should never exceed pi.
+    """
+    arr = np.asarray(phases, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    return float(np.abs(np.diff(arr)).max())

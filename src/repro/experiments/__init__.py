@@ -1,0 +1,43 @@
+"""One module per paper artefact (table/figure), all registered in
+:data:`repro.experiments.REGISTRY` and runnable via
+:func:`repro.experiments.run_experiment`.
+"""
+
+from .base import REGISTRY, ExperimentResult, register, run_experiment
+
+# Importing the modules populates the registry.
+from . import (  # noqa: F401  (imported for registration side effects)
+    ablations,
+    extensions,
+    fig02_observations,
+    fig04_tag_diversity,
+    fig05_deviation_bias,
+    fig06_unwrap,
+    fig07_suppression_image,
+    fig08_phase_symmetry,
+    fig09_segmentation_trace,
+    fig11_pair_interference,
+    fig12_array_interference,
+    fig13_antenna_geometry,
+    fig16_environments,
+    fig17_tx_power,
+    fig18_angle,
+    fig19_distance,
+    fig20_users,
+    fig21_time_cdf,
+    fig22_segmentation,
+    fig23_letters,
+    fig24_latency,
+    fig25_kinect,
+    tab1_los_nlos,
+)
+
+ALL_EXPERIMENTS = sorted(REGISTRY)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "REGISTRY",
+    "register",
+    "run_experiment",
+]

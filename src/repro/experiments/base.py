@@ -1,0 +1,94 @@
+"""Experiment framework: uniform results, registry, and text rendering.
+
+Every paper artefact (table or figure) has one module here exposing
+``run(fast=True, seed=7) -> ExperimentResult``.  ``fast`` trims repeat
+counts so the benchmark suite completes in minutes; the paper-scale
+workloads are available by passing ``fast=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced artefact: labelled rows plus free-form notes.
+
+    ``rows`` is a list of flat dicts sharing a column set, in presentation
+    order — exactly the rows/series the paper's table or figure reports.
+    ``expectation`` documents the shape-level claim being checked and
+    ``expectation_met`` whether this run met it.
+    """
+
+    experiment_id: str
+    title: str
+    rows: List[Dict[str, Any]]
+    expectation: str = ""
+    expectation_met: Optional[bool] = None
+    notes: List[str] = field(default_factory=list)
+
+    def column_names(self) -> List[str]:
+        names: List[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in names:
+                    names.append(key)
+        return names
+
+    def to_text(self) -> str:
+        """Human-readable rendering (used by benches and examples)."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        cols = self.column_names()
+        if cols:
+            widths = {
+                c: max(len(c), *(len(_fmt(r.get(c, ""))) for r in self.rows))
+                for c in cols
+            }
+            lines.append("  ".join(c.ljust(widths[c]) for c in cols))
+            for row in self.rows:
+                lines.append(
+                    "  ".join(_fmt(row.get(c, "")).ljust(widths[c]) for c in cols)
+                )
+        if self.expectation:
+            status = (
+                "MET" if self.expectation_met
+                else "NOT MET" if self.expectation_met is not None
+                else "unchecked"
+            )
+            lines.append(f"expectation [{status}]: {self.expectation}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        return [row.get(name) for row in self.rows]
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+#: Registry: experiment id -> runner.  Populated by repro.experiments.
+REGISTRY: Dict[str, Callable[..., ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a run() function to the registry."""
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        REGISTRY[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+    if experiment_id not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
+        )
+    return REGISTRY[experiment_id](**kwargs)

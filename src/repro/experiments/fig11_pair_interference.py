@@ -1,0 +1,77 @@
+"""Fig. 11 — interference within a pair of tags.
+
+A testing tag approaching a target tag suppresses the target's RSS:
+strongly in the near field (~3 cm, same facing), mildly in the transition
+region (~6 cm), and negligibly beyond ~12 cm; flipping the testing tag to
+face the opposite way nearly removes the effect (section IV-B.1).
+"""
+
+from __future__ import annotations
+
+from ..physics.coupling import TAG_DESIGN_D, pair_shadow_loss_db
+from ..physics.geometry import Vec3
+from ..rfid.deployment import deploy_array
+from ..rfid.reader import Reader, ReaderConfig
+from ..physics.antenna import ReaderAntenna
+from ..physics.geometry import GridLayout
+from ..units import watts_to_dbm_floor
+from .base import ExperimentResult, register
+
+import numpy as np
+
+
+@register("fig11")
+def run(fast: bool = True, seed: int = 7) -> ExperimentResult:
+    """Measured RSS of a target tag 2 m from the reader as a testing tag
+    approaches, for both facing configurations."""
+    rng = np.random.default_rng(seed)
+    layout = GridLayout(rows=1, cols=1, pitch=0.06)
+    array = deploy_array(rng, layout)
+    antenna = ReaderAntenna(Vec3(0.0, 0.0, -2.0), Vec3(0.0, 0.0, 1.0))
+    reader = Reader(antenna, array, ReaderConfig(), rng=rng)
+    tag = array.tags[0]
+
+    base_report = reader.observe_tag(0, 0.0, None)
+    rows = [
+        {
+            "separation_cm": "none (isolated)",
+            "same_facing_rss_dbm": base_report.rss_dbm,
+            "opposite_facing_rss_dbm": base_report.rss_dbm,
+        }
+    ]
+
+    separations = (0.03, 0.06, 0.09, 0.12, 0.15)
+    same_losses, opp_losses = [], []
+    for sep in separations:
+        same = pair_shadow_loss_db(sep, TAG_DESIGN_D, same_facing=True)
+        opp = pair_shadow_loss_db(sep, TAG_DESIGN_D, same_facing=False)
+        same_losses.append(same)
+        opp_losses.append(opp)
+        rows.append(
+            {
+                "separation_cm": round(sep * 100),
+                "same_facing_rss_dbm": base_report.rss_dbm - same,
+                "opposite_facing_rss_dbm": base_report.rss_dbm - opp,
+            }
+        )
+
+    met = (
+        same_losses[0] > 3.0                    # near field: strong suppression
+        and same_losses[0] > 4.0 * same_losses[-1]  # monotone decay
+        and same_losses[-1] < 1.0               # far field: negligible
+        and all(o < s * 0.5 for s, o in zip(same_losses, opp_losses))
+    )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Pair interference: target-tag RSS vs testing-tag separation",
+        rows=rows,
+        expectation=(
+            "same-facing coupling strong at 3 cm, negligible beyond 12 cm; "
+            "opposite facing removes most of it"
+        ),
+        expectation_met=met,
+        notes=[
+            "near-field boundary lambda/2pi ~= 5.2 cm; far field ~= 2*lambda/2pi "
+            "~= 10.4 cm (the paper quotes 12 cm empirically)"
+        ],
+    )

@@ -1,0 +1,50 @@
+"""Fig. 20 — detection accuracy across ten volunteers.
+
+Most volunteers land above 90%; the two fast writers (#6 and #9) dip but
+stay >= ~85% — undersampling at higher hand speeds costs accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..motion.strokes import all_motions
+from ..motion.user import default_users
+from ..sim.metrics import score_motion_trials
+from ..sim.runner import SessionRunner
+from ..sim.scenario import ScenarioConfig, build_scenario
+from .base import ExperimentResult, register
+
+
+@register("fig20")
+def run(fast: bool = True, seed: int = 7) -> ExperimentResult:
+    repeats = 2 if fast else 20
+    motions = all_motions()
+    runner = SessionRunner(build_scenario(ScenarioConfig(seed=seed)))
+
+    rows = []
+    accs = {}
+    for user in default_users():
+        trials = runner.run_motion_battery(motions, repeats, user=user)
+        accs[user.user_id] = score_motion_trials(trials).accuracy
+        rows.append(
+            {"user": user.user_id, "speed_mps": user.speed, "accuracy": accs[user.user_id]}
+        )
+
+    values = np.array(list(accs.values()))
+    slow_users = [u for u in accs if u not in (6, 9)]
+    slow_mean = float(np.mean([accs[u] for u in slow_users]))
+    fast_mean = float(np.mean([accs[6], accs[9]]))
+    rows.append({"user": "median", "speed_mps": "", "accuracy": float(np.median(values))})
+
+    met = float(np.median(values)) >= 0.8 and fast_mean <= slow_mean
+    return ExperimentResult(
+        experiment_id="fig20",
+        title="Accuracy across ten volunteers",
+        rows=rows,
+        expectation=(
+            "median accuracy high; fast writers #6/#9 below the rest "
+            "(speed costs accuracy)"
+        ),
+        expectation_met=met,
+    )

@@ -1,0 +1,59 @@
+"""Fig. 24 — response time per motion category.
+
+The paper measures the time between finishing a motion and its correct
+report; with the report stream buffered that is the pipeline's compute
+latency.  The paper sees < 0.1 s on a 2014 laptop; the shape check here is
+that every motion's mean latency is far below one second and that the
+spread across motions is small.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..motion.strokes import all_motions
+from ..sim.runner import SessionRunner
+from ..sim.scenario import ScenarioConfig, build_scenario
+from .base import ExperimentResult, register
+
+
+@register("fig24")
+def run(fast: bool = True, seed: int = 7) -> ExperimentResult:
+    repeats = 3 if fast else 50
+    runner = SessionRunner(build_scenario(ScenarioConfig(seed=seed)))
+
+    per_kind: dict = {}
+    for motion in all_motions():
+        for _ in range(repeats):
+            from ..motion.script import script_for_motion
+
+            script = script_for_motion(motion, runner.rng)
+            log = runner.run_script(script)
+            _, latency = runner.pad.timed_detect_motion(log)
+            per_kind.setdefault(motion.kind.value, []).append(latency)
+
+    rows = []
+    means = []
+    for kind_value in sorted(per_kind):
+        values = np.array(per_kind[kind_value])
+        means.append(float(values.mean()))
+        rows.append(
+            {
+                "motion_category": kind_value,
+                "mean_s": float(values.mean()),
+                "max_s": float(values.max()),
+            }
+        )
+
+    spread = max(means) - min(means)
+    met = max(means) < 0.5 and spread < 0.2
+    return ExperimentResult(
+        experiment_id="fig24",
+        title="Recognition response time per motion category",
+        rows=rows,
+        expectation=(
+            "all motion categories report well below 0.5 s with a small "
+            "spread (paper: < 0.1 s, spread < 0.035 s on their hardware)"
+        ),
+        expectation_met=met,
+    )

@@ -1,0 +1,76 @@
+"""Hand-motion synthesis: stroke primitives, letter decompositions, user
+profiles, writing sessions, and the simulated Kinect ground truth.
+"""
+
+from .kinect import (
+    KINECT_FRAME_RATE_HZ,
+    KINECT_JOINT_NOISE_M,
+    KinectFrame,
+    KinectSimulator,
+    KinectTrack,
+    trajectory_deviation,
+)
+from .letters import (
+    ALPHABET,
+    LETTER_STROKES,
+    StrokeSpec,
+    ambiguous_groups,
+    letters_by_stroke_count,
+    shape_sequence,
+    stroke_count,
+    validate_grouping,
+)
+from .script import Segment, WritingScript, script_for_letter, script_for_motion, script_for_strokes
+from .strokes import (
+    ArcOpening,
+    Direction,
+    Motion,
+    StrokeKind,
+    StrokeTrace,
+    TimedPoint,
+    all_motions,
+    default_opening,
+    generate_click,
+    generate_line_between,
+    generate_stroke,
+    stroke_skeleton,
+)
+from .user import DEFAULT_USER, UserProfile, default_users, user_by_id
+
+__all__ = [
+    "ALPHABET",
+    "ArcOpening",
+    "DEFAULT_USER",
+    "Direction",
+    "KINECT_FRAME_RATE_HZ",
+    "KINECT_JOINT_NOISE_M",
+    "KinectFrame",
+    "KinectSimulator",
+    "KinectTrack",
+    "LETTER_STROKES",
+    "Motion",
+    "Segment",
+    "StrokeKind",
+    "StrokeSpec",
+    "StrokeTrace",
+    "TimedPoint",
+    "UserProfile",
+    "WritingScript",
+    "all_motions",
+    "ambiguous_groups",
+    "default_opening",
+    "default_users",
+    "generate_click",
+    "generate_line_between",
+    "generate_stroke",
+    "letters_by_stroke_count",
+    "script_for_letter",
+    "script_for_motion",
+    "script_for_strokes",
+    "shape_sequence",
+    "stroke_count",
+    "stroke_skeleton",
+    "trajectory_deviation",
+    "user_by_id",
+    "validate_grouping",
+]

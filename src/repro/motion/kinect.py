@@ -1,0 +1,116 @@
+"""Simulated Kinect ground truth.
+
+The paper validates RFIPad against a Kinect placed behind the user, using
+its skeletal output to track the hand (section V-A, Fig. 25).  Here the
+"Kinect" samples the *true* simulated hand trajectory at the sensor's frame
+rate with centimetre-scale skeletal noise and occasional dropped frames —
+the same statistical role the real device plays: an independent, imperfect
+reference trajectory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..physics.geometry import Vec3
+from .script import WritingScript
+from .strokes import TimedPoint
+
+
+#: Kinect v1/v2 skeletal stream rate, Hz.
+KINECT_FRAME_RATE_HZ = 30.0
+
+#: Skeletal joint jitter of the hand joint, metres (typical ~5-10 mm).
+KINECT_JOINT_NOISE_M = 0.006
+
+
+@dataclass(frozen=True)
+class KinectFrame:
+    """One skeletal frame: the tracked hand joint (None when lost)."""
+
+    t: float
+    hand: Optional[Vec3]
+
+
+@dataclass
+class KinectTrack:
+    """A recorded skeletal session."""
+
+    frames: List[KinectFrame]
+
+    def positions(self) -> List[TimedPoint]:
+        return [TimedPoint(f.t, f.hand) for f in self.frames if f.hand is not None]
+
+    def tracked_fraction(self) -> float:
+        if not self.frames:
+            return 0.0
+        return sum(1 for f in self.frames if f.hand is not None) / len(self.frames)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(times, positions[n,3]) of tracked frames."""
+        pts = self.positions()
+        times = np.array([p.t for p in pts])
+        xyz = np.array([[p.position.x, p.position.y, p.position.z] for p in pts])
+        return times, xyz
+
+
+class KinectSimulator:
+    """Samples a script's true trajectory like a skeletal tracker would."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        frame_rate_hz: float = KINECT_FRAME_RATE_HZ,
+        joint_noise_m: float = KINECT_JOINT_NOISE_M,
+        drop_probability: float = 0.02,
+    ) -> None:
+        if frame_rate_hz <= 0.0:
+            raise ValueError("frame rate must be positive")
+        if not (0.0 <= drop_probability < 1.0):
+            raise ValueError("drop probability must be in [0, 1)")
+        self._rng = rng
+        self.frame_rate_hz = frame_rate_hz
+        self.joint_noise_m = joint_noise_m
+        self.drop_probability = drop_probability
+
+    def track(self, script: WritingScript) -> KinectTrack:
+        frames: List[KinectFrame] = []
+        dt = 1.0 / self.frame_rate_hz
+        t = script.t_start
+        while t <= script.t_end + 1e-9:
+            pose = script.hand_pose_at(t)
+            if pose is None or self._rng.random() < self.drop_probability:
+                frames.append(KinectFrame(t, None))
+            else:
+                noise = self._rng.normal(0.0, self.joint_noise_m, size=3)
+                p = pose.position
+                frames.append(
+                    KinectFrame(t, Vec3(p.x + noise[0], p.y + noise[1], p.z + noise[2]))
+                )
+            t += dt
+        return KinectTrack(frames)
+
+
+def trajectory_deviation(
+    track: KinectTrack, reference: Sequence[TimedPoint]
+) -> float:
+    """Mean nearest-in-time distance between a track and a reference path.
+
+    Used by Fig. 25-style comparisons to quantify "the two trajectories are
+    very consistent".
+    """
+    ref = list(reference)
+    if not ref:
+        raise ValueError("empty reference trajectory")
+    times = np.array([p.t for p in ref])
+    total, count = 0.0, 0
+    for point in track.positions():
+        i = int(np.argmin(np.abs(times - point.t)))
+        total += point.position.distance_to(ref[i].position)
+        count += 1
+    if count == 0:
+        raise ValueError("track has no tracked frames")
+    return total / count

@@ -1,0 +1,76 @@
+"""User diversity: volunteer profiles for the evaluation.
+
+The paper's panel (section V-B.6) is ten volunteers spanning gender, age
+22-30, height 158-183 cm, weight 45-80 kg, arm length 56-70 cm.  The
+behavioural knobs that matter to the RF pipeline are writing speed, hand
+wander (jitter), hover height, and how crisply they pause between strokes.
+Volunteers #6 and #9 write noticeably fast — the paper singles them out as
+the two with degraded accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Behavioural parameters of one writer."""
+
+    user_id: int
+    name: str
+    speed: float = 0.20            # hand speed along strokes, m/s
+    jitter: float = 0.004          # low-frequency wander std, m
+    hover_height: float = 0.030    # writing height above the plane, m
+    raised_height: float = 0.22   # height during adjustment intervals, m
+    adjustment_time: float = 0.90  # nominal inter-stroke pause, s
+    arm_length: float = 0.62       # m, sets the arm scatterer extent
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0.0:
+            raise ValueError("speed must be positive")
+        if self.hover_height <= 0.0 or self.raised_height <= self.hover_height:
+            raise ValueError("raised height must exceed hover height")
+        if self.adjustment_time < 0.0:
+            raise ValueError("adjustment time must be non-negative")
+
+
+def default_users() -> List[UserProfile]:
+    """The ten seeded volunteers. #6 and #9 are the fast writers."""
+    specs = [
+        # id, speed, jitter, hover, adjustment_time, arm
+        (1, 0.18, 0.0035, 0.028, 0.95, 0.58),
+        (2, 0.20, 0.0040, 0.030, 0.90, 0.62),
+        (3, 0.17, 0.0030, 0.026, 1.00, 0.56),
+        (4, 0.22, 0.0045, 0.032, 0.85, 0.66),
+        (5, 0.19, 0.0038, 0.030, 0.92, 0.60),
+        (6, 0.38, 0.0060, 0.036, 0.65, 0.64),   # fast writer
+        (7, 0.21, 0.0042, 0.029, 0.90, 0.63),
+        (8, 0.18, 0.0036, 0.027, 0.98, 0.59),
+        (9, 0.34, 0.0055, 0.034, 0.68, 0.70),   # fast writer
+        (10, 0.20, 0.0040, 0.031, 0.88, 0.61),
+    ]
+    return [
+        UserProfile(
+            user_id=uid,
+            name=f"volunteer-{uid}",
+            speed=speed,
+            jitter=jit,
+            hover_height=hover,
+            adjustment_time=adj,
+            arm_length=arm,
+        )
+        for uid, speed, jit, hover, adj, arm in specs
+    ]
+
+
+def user_by_id(user_id: int) -> UserProfile:
+    """Look up one of the ten seeded volunteers by id (1-10)."""
+    for u in default_users():
+        if u.user_id == user_id:
+            return u
+    raise KeyError(f"no volunteer with id {user_id}")
+
+
+DEFAULT_USER = default_users()[1]  # volunteer-2: a typical writer

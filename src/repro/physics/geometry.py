@@ -1,0 +1,234 @@
+"""3-D geometry primitives used across the physics and motion layers.
+
+The coordinate frame is fixed throughout the project:
+
+* the tag plane lies in the ``z = 0`` plane,
+* ``x`` grows to the user's right (columns of the array),
+* ``y`` grows upwards along the plane (rows of the array),
+* ``z`` grows towards the user; the hand moves at small positive ``z``,
+  an NLOS antenna sits at negative ``z`` (behind the board), an LOS
+  (ceiling) antenna at large positive ``z``.
+
+We deliberately keep :class:`Vec3` as a tiny frozen dataclass rather than a
+numpy array: positions flow through protocol-level code where a hashable,
+self-documenting value type reads better, and the hot numeric paths convert
+to numpy arrays in bulk anyway.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Vec3:
+    """An immutable point/vector in metres."""
+
+    x: float
+    y: float
+    z: float
+
+    def __add__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x + other.x, self.y + other.y, self.z + other.z)
+
+    def __sub__(self, other: "Vec3") -> "Vec3":
+        return Vec3(self.x - other.x, self.y - other.y, self.z - other.z)
+
+    def __mul__(self, scalar: float) -> "Vec3":
+        return Vec3(self.x * scalar, self.y * scalar, self.z * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec3":
+        return Vec3(-self.x, -self.y, -self.z)
+
+    def dot(self, other: "Vec3") -> float:
+        return self.x * other.x + self.y * other.y + self.z * other.z
+
+    def cross(self, other: "Vec3") -> "Vec3":
+        return Vec3(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+
+    def norm(self) -> float:
+        return math.sqrt(self.dot(self))
+
+    def distance_to(self, other: "Vec3") -> float:
+        return (self - other).norm()
+
+    def normalized(self) -> "Vec3":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalise the zero vector")
+        return Vec3(self.x / n, self.y / n, self.z / n)
+
+    def lerp(self, other: "Vec3", t: float) -> "Vec3":
+        """Linear interpolation: t=0 -> self, t=1 -> other."""
+        return Vec3(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+            self.z + (other.z - self.z) * t,
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float]:
+        return (self.x, self.y, self.z)
+
+
+ORIGIN = Vec3(0.0, 0.0, 0.0)
+X_AXIS = Vec3(1.0, 0.0, 0.0)
+Y_AXIS = Vec3(0.0, 1.0, 0.0)
+Z_AXIS = Vec3(0.0, 0.0, 1.0)
+
+
+def angle_between(a: Vec3, b: Vec3) -> float:
+    """Angle in radians between two non-zero vectors, in [0, pi]."""
+    na, nb = a.norm(), b.norm()
+    if na == 0.0 or nb == 0.0:
+        raise ValueError("angle undefined for zero vectors")
+    cos = a.dot(b) / (na * nb)
+    cos = max(-1.0, min(1.0, cos))
+    return math.acos(cos)
+
+
+def rotate_about_y(v: Vec3, angle_rad: float) -> Vec3:
+    """Rotate ``v`` about the y axis (used to tilt the reader antenna).
+
+    A positive angle rotates the +z axis towards +x.
+    """
+    c, s = math.cos(angle_rad), math.sin(angle_rad)
+    return Vec3(c * v.x + s * v.z, v.y, -s * v.x + c * v.z)
+
+
+def mirror_across_plane(point: Vec3, plane_point: Vec3, plane_normal: Vec3) -> Vec3:
+    """Mirror ``point`` across an infinite plane (image method helper).
+
+    ``plane_normal`` need not be unit length.
+    """
+    n = plane_normal.normalized()
+    d = (point - plane_point).dot(n)
+    return point - n * (2.0 * d)
+
+
+@dataclass(frozen=True)
+class GridLayout:
+    """A rows x cols rectangular tag array centred on the origin of the plane.
+
+    ``pitch`` is the centre-to-centre spacing (the paper deploys 6 cm).
+    Index convention: ``(row, col)`` with row 0 the *top* row (largest y) and
+    col 0 the leftmost column, matching how the paper's grey maps are drawn.
+    """
+
+    rows: int = 5
+    cols: int = 5
+    pitch: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError(f"grid must be at least 1x1, got {self.rows}x{self.cols}")
+        if self.pitch <= 0.0:
+            raise ValueError(f"pitch must be positive, got {self.pitch}")
+
+    @property
+    def count(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def width(self) -> float:
+        """Horizontal extent between outermost tag centres."""
+        return (self.cols - 1) * self.pitch
+
+    @property
+    def height(self) -> float:
+        return (self.rows - 1) * self.pitch
+
+    def position(self, row: int, col: int) -> Vec3:
+        """Centre of tag ``(row, col)`` on the z = 0 plane."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} grid")
+        x = (col - (self.cols - 1) / 2.0) * self.pitch
+        y = ((self.rows - 1) / 2.0 - row) * self.pitch
+        return Vec3(x, y, 0.0)
+
+    def index_of(self, row: int, col: int) -> int:
+        """Flat index in row-major order (tag #0 is top-left)."""
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return row * self.cols + col
+
+    def row_col(self, index: int) -> Tuple[int, int]:
+        if not (0 <= index < self.count):
+            raise IndexError(f"index {index} outside 0..{self.count - 1}")
+        return divmod(index, self.cols)
+
+    def positions(self) -> List[Vec3]:
+        """All tag centres in flat-index order."""
+        return [self.position(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def iter_cells(self) -> Iterator[Tuple[int, int, Vec3]]:
+        for r in range(self.rows):
+            for c in range(self.cols):
+                yield r, c, self.position(r, c)
+
+    def nearest_cell(self, point: Vec3) -> Tuple[int, int]:
+        """The ``(row, col)`` whose tag centre is closest to ``point`` (xy only)."""
+        best = (0, 0)
+        best_d2 = float("inf")
+        for r, c, p in self.iter_cells():
+            d2 = (p.x - point.x) ** 2 + (p.y - point.y) ** 2
+            if d2 < best_d2:
+                best_d2 = d2
+                best = (r, c)
+        return best
+
+
+def path_length(points: Sequence[Vec3]) -> float:
+    """Total polyline length of a trajectory sample sequence."""
+    total = 0.0
+    for a, b in zip(points, points[1:]):
+        total += a.distance_to(b)
+    return total
+
+
+def resample_polyline(points: Sequence[Vec3], n: int) -> List[Vec3]:
+    """Resample a polyline to ``n`` points uniformly spaced by arc length.
+
+    Degenerate (zero-length) polylines return ``n`` copies of the first point.
+    """
+    if n < 2:
+        raise ValueError(f"need at least 2 samples, got {n}")
+    if not points:
+        raise ValueError("empty polyline")
+    seg_lengths = [a.distance_to(b) for a, b in zip(points, points[1:])]
+    total = sum(seg_lengths)
+    if total == 0.0 or len(points) == 1:
+        return [points[0]] * n
+    out: List[Vec3] = []
+    targets = [total * i / (n - 1) for i in range(n)]
+    seg = 0
+    consumed = 0.0
+    for target in targets:
+        while seg < len(seg_lengths) - 1 and consumed + seg_lengths[seg] < target:
+            consumed += seg_lengths[seg]
+            seg += 1
+        seg_len = seg_lengths[seg]
+        t = 0.0 if seg_len == 0.0 else (target - consumed) / seg_len
+        t = max(0.0, min(1.0, t))
+        out.append(points[seg].lerp(points[seg + 1], t))
+    return out
+
+
+def centroid(points: Iterable[Vec3]) -> Vec3:
+    """Arithmetic mean of a non-empty point set."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("centroid of empty set")
+    inv = 1.0 / len(pts)
+    return Vec3(
+        sum(p.x for p in pts) * inv,
+        sum(p.y for p in pts) * inv,
+        sum(p.z for p in pts) * inv,
+    )

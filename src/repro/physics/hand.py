@@ -1,0 +1,133 @@
+"""The moving hand (and arm) as RF scatterers.
+
+Section III-A.1 of the paper treats the hand as a "powerful virtual
+transmitter that generates the reflected signals".  We realise that as one
+:class:`~repro.physics.channel.Scatterer` for the hand plus one for the
+forearm.  The hand additionally *shadows* tags it hovers over (near-field
+blockage) — that blockage is the distinct RSS trough the paper's direction
+estimator relies on (section III-B).
+
+The arm matters for the LOS-vs-NLOS result (Table I): with a ceiling
+antenna the forearm cuts the reader->tag line of sight for a swath of tags,
+injecting noise the paper blames for the lower LOS accuracy.  We model that
+as an occlusion loss on the direct path of tags whose line of sight passes
+near an arm point.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .channel import Scatterer
+from .geometry import Vec3
+
+
+#: Effective bistatic RCS of a hand at ~920 MHz, m^2.  A hand is a lossy
+#: dielectric of ~80 cm^2 cross section; its RCS at UHF is of that order.
+HAND_RCS_M2 = 0.003
+
+#: Forearm RCS — larger body, but usually further from the tags.
+ARM_RCS_M2 = 0.010
+
+#: Peak near-field blockage the hand causes on a tag directly beneath it.
+HAND_SHADOW_DEPTH_DB = 12.0
+
+#: Peak near-field resonance detuning (radians of reflection-phase shift)
+#: the hand causes on a tag directly beneath it.  This is the dominant,
+#: sharply local phase disturbance — see Scatterer.detune_rad.
+HAND_DETUNE_RAD = 2.4
+
+
+@dataclass(frozen=True)
+class HandPose:
+    """The instantaneous pose of the writing hand.
+
+    ``position`` is the fingertip/palm reference point.  ``arm_direction``
+    points from the hand back towards the elbow (unit-ish; renormalised),
+    so arm sample points are ``position + k * arm_direction``.
+    """
+
+    position: Vec3
+    #: From the hand back towards the elbow.  Writers keep the forearm
+    #: raised well off the pad, so the default climbs steeply in z.
+    arm_direction: Vec3 = Vec3(0.0, -0.45, 1.0)
+    arm_length: float = 0.30
+    hand_rcs_m2: float = HAND_RCS_M2
+    arm_rcs_m2: float = ARM_RCS_M2
+    shadow_depth_db: float = HAND_SHADOW_DEPTH_DB
+    detune_rad: float = HAND_DETUNE_RAD
+
+    def arm_points(self, n: int = 3) -> List[Vec3]:
+        """Sample points along the forearm (excluding the hand itself)."""
+        if n < 1:
+            return []
+        direction = self.arm_direction.normalized()
+        return [
+            self.position + direction * (self.arm_length * (i + 1) / n)
+            for i in range(n)
+        ]
+
+    def scatterers(self, include_arm: bool = True) -> List[Scatterer]:
+        """Channel scatterers for this pose.
+
+        The hand carries the near-field shadow; arm points scatter but are
+        too far above the plane to shadow tags.
+        """
+        out = [
+            Scatterer(
+                position=self.position,
+                rcs_m2=self.hand_rcs_m2,
+                shadow_depth_db=self.shadow_depth_db,
+                detune_rad=self.detune_rad,
+            )
+        ]
+        if include_arm:
+            arm_pts = self.arm_points()
+            per_point = self.arm_rcs_m2 / max(1, len(arm_pts))
+            out.extend(Scatterer(position=p, rcs_m2=per_point) for p in arm_pts)
+        return out
+
+
+def point_to_segment_distance(p: Vec3, a: Vec3, b: Vec3) -> float:
+    """Shortest distance from point ``p`` to segment ``ab``."""
+    ab = b - a
+    denom = ab.dot(ab)
+    if denom == 0.0:
+        return p.distance_to(a)
+    t = (p - a).dot(ab) / denom
+    t = max(0.0, min(1.0, t))
+    return p.distance_to(a + ab * t)
+
+
+def occlusion_loss_db(
+    antenna_position: Vec3,
+    tag_position: Vec3,
+    pose: "HandPose | None",
+    fresnel_radius: float = 0.10,
+    depth_db: float = 8.0,
+) -> float:
+    """Direct-path loss (dB) when the hand/arm cuts the reader-tag LOS.
+
+    Loss is maximal when a body point sits on the antenna->tag segment and
+    decays as a Gaussian of its clearance relative to ``fresnel_radius``.
+    Returns 0 for ``pose is None`` (no hand in the scene).
+    """
+    if pose is None:
+        return 0.0
+    total = 0.0
+    for body_point in [pose.position] + pose.arm_points():
+        clearance = point_to_segment_distance(body_point, antenna_position, tag_position)
+        total += depth_db * math.exp(-0.5 * (clearance / fresnel_radius) ** 2)
+    return total
+
+
+def hand_height_profile(speed: float) -> float:
+    """Nominal hover height (m) above the plane while writing.
+
+    The paper's accuracy holds for hand-to-plane distances within ~5 cm
+    (section VI).  Faster writers tend to drift slightly higher.
+    """
+    base = 0.03
+    return base + 0.01 * max(0.0, speed - 0.3)

@@ -1,0 +1,131 @@
+"""Receiver noise and report quantisation.
+
+Two non-idealities matter for RFIPad's accuracy story:
+
+* **Thermal noise at the reader.**  Phase and RSS jitter grow as the
+  backscatter SNR falls — this is the mechanism behind Fig. 17 (error
+  rate vs TX power) and Fig. 19 (error vs reader-to-tag distance).  We add
+  circular complex Gaussian noise to the baseband sample, from which both
+  the reported RSS wiggle and phase jitter follow with the textbook
+  ``sigma_phase ~ 1/sqrt(2*SNR)`` behaviour at high SNR.
+
+* **Report quantisation.**  Commodity readers report phase in fixed steps
+  (0.0015 rad for the Impinj family the paper uses) and RSS in 0.5 dB
+  steps.  Quantisation bounds the best-case resolution of the pipeline.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import (
+    PHASE_QUANTUM_RAD,
+    RSS_QUANTUM_DB,
+    dbm_to_watts,
+    quantise,
+    watts_to_dbm_floor,
+    wrap_phase,
+)
+
+
+#: Thermal noise floor of a commodity UHF reader front end (dBm).  kTB for
+#: ~1 MHz bandwidth is -114 dBm; add a ~10 dB noise figure.
+DEFAULT_NOISE_FLOOR_DBM = -104.0
+
+
+@dataclass(frozen=True)
+class ReceiverNoise:
+    """Noise + quantisation model applied to each tag read."""
+
+    noise_floor_dbm: float = DEFAULT_NOISE_FLOOR_DBM
+    phase_quantum_rad: float = PHASE_QUANTUM_RAD
+    rss_quantum_db: float = RSS_QUANTUM_DB
+    #: Extra phase jitter (radians) independent of SNR: local-oscillator
+    #: drift and timing jitter.  Keeps static traces realistically non-flat
+    #: even at high SNR (cf. the per-tag std floors in Fig. 5).
+    residual_phase_jitter_rad: float = 0.004
+    #: Front-end impairments at low signal level: below ``agc_reference_dbm``
+    #: the reader's AGC gain steps and coarse I/Q quantisation add phase and
+    #: RSS jitter that grows with the signal deficit.  This — much more than
+    #: thermal noise — is why commodity-reader phase gets ragged when the
+    #: backscatter is weak, and it drives the TX-power error trend (Fig. 17).
+    agc_reference_dbm: float = -25.0
+    agc_phase_slope_rad_per_db: float = 0.0045
+    agc_rss_slope_db_per_db: float = 0.035
+    base_rss_jitter_db: float = 0.15
+
+    @property
+    def noise_floor_w(self) -> float:
+        return dbm_to_watts(self.noise_floor_dbm)
+
+    def snr_linear(self, signal_power_w: float) -> float:
+        if signal_power_w <= 0.0:
+            return 0.0
+        return signal_power_w / self.noise_floor_w
+
+    def observe(
+        self, baseband: complex, rng: np.random.Generator
+    ) -> "tuple[float, float]":
+        """Turn a noiseless baseband voltage into a reported (rss_dbm, phase).
+
+        Returns the quantised RSS in dBm and the quantised wrapped phase in
+        [0, 2*pi).  The input carries the channel plus circuit phase; this
+        function only adds receiver impairments.
+        """
+        sigma = math.sqrt(self.noise_floor_w / 2.0)
+        noisy = baseband + complex(rng.normal(0.0, sigma), rng.normal(0.0, sigma))
+        power_w = abs(noisy) ** 2
+        rss_dbm = watts_to_dbm_floor(power_w)
+
+        # Low-signal front-end impairments (AGC steps, coarse I/Q).
+        deficit_db = max(0.0, self.agc_reference_dbm - rss_dbm)
+        phase_sigma = math.hypot(
+            self.residual_phase_jitter_rad,
+            self.agc_phase_slope_rad_per_db * deficit_db,
+        )
+        rss_sigma = self.base_rss_jitter_db + self.agc_rss_slope_db_per_db * deficit_db
+
+        rss_dbm = quantise(rss_dbm + rng.normal(0.0, rss_sigma), self.rss_quantum_db)
+        phase = cmath.phase(noisy) + rng.normal(0.0, phase_sigma)
+        phase = quantise(wrap_phase(phase), self.phase_quantum_rad)
+        # Quantisation can land exactly on 2*pi; fold back.
+        return rss_dbm, wrap_phase(phase)
+
+    def phase_std_estimate(self, signal_power_w: float) -> float:
+        """Predicted phase std (radians) at a given backscatter power.
+
+        High-SNR approximation 1/sqrt(2*SNR) combined with the residual
+        jitter floor; used by tests and by the calibration sanity checks.
+        """
+        snr = self.snr_linear(signal_power_w)
+        if snr <= 0.0:
+            return math.pi / math.sqrt(3.0)  # uniform phase: no signal
+        thermal = 1.0 / math.sqrt(2.0 * snr)
+        return math.hypot(thermal, self.residual_phase_jitter_rad)
+
+
+def doppler_estimate_hz(
+    phase_now: float, phase_prev: float, dt: float, wavelength: float
+) -> float:
+    """Doppler shift a reader derives from successive phase reads.
+
+    Commodity readers report Doppler as the finite difference of phase over
+    the read interval; at typical read rates this is dominated by noise —
+    exactly the paper's observation (Fig. 2a) that Doppler is useless for
+    distinguishing hand movement.  ``wavelength`` is unused in the finite
+    difference itself but kept for interface clarity with reader firmware
+    conventions (phase-per-time to Hz conversion).
+    """
+    if dt <= 0.0:
+        raise ValueError("dt must be positive")
+    dphi = phase_now - phase_prev
+    # Fold to the principal branch: |dphi| <= pi.
+    while dphi > math.pi:
+        dphi -= 2.0 * math.pi
+    while dphi < -math.pi:
+        dphi += 2.0 * math.pi
+    return dphi / (2.0 * math.pi * dt)

@@ -1,0 +1,119 @@
+"""Multi-pad operation: one reader, several antennas, several RFIPads.
+
+The paper's cost argument (section I) is that "an existing reader can
+monitor multiple RFIPads while performing its regular applications": the
+reader is the expensive component, antennas and tags are cheap.  A
+commodity reader multiplexes its antenna ports in time, so each pad sees
+the inventory duty-cycled.
+
+:class:`MultiplexedReader` models exactly that: a list of ports (each an
+independent antenna + tag array + environment) served round-robin with a
+configurable dwell time.  Each port's report log looks like a normal —
+just sparser — RFIPad stream, so the per-pad pipelines run unchanged; the
+``ext_multipad`` experiment measures what the duty-cycling costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..physics.antenna import ReaderAntenna
+from ..physics.hand import HandPose
+from ..physics.multipath import Environment
+from ..physics.noise import ReceiverNoise
+from .deployment import TagArray
+from .reader import HandPoseFn, Reader, ReaderConfig
+from .reports import ReportLog
+
+
+@dataclass
+class ReaderPort:
+    """One antenna port: its own pad, environment, and scene."""
+
+    antenna: ReaderAntenna
+    array: TagArray
+    environment: Optional[Environment] = None
+
+
+class MultiplexedReader:
+    """Round-robin time multiplexing over several reader ports.
+
+    All ports share one RF front end (one ``ReaderConfig``) and one RNG,
+    mirroring a real multi-antenna reader.  ``dwell_s`` is the time spent
+    on each port before switching; commodity readers default to a few
+    hundred milliseconds per antenna.
+    """
+
+    def __init__(
+        self,
+        ports: Sequence[ReaderPort],
+        config: ReaderConfig = ReaderConfig(),
+        noise: ReceiverNoise = ReceiverNoise(),
+        rng: Optional[np.random.Generator] = None,
+        dwell_s: float = 0.25,
+    ) -> None:
+        if not ports:
+            raise ValueError("need at least one port")
+        if dwell_s <= 0.0:
+            raise ValueError("dwell must be positive")
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.dwell_s = dwell_s
+        self.readers: List[Reader] = [
+            Reader(
+                p.antenna,
+                p.array,
+                ReaderConfig(
+                    tx_power_dbm=config.tx_power_dbm,
+                    frequency_hz=config.frequency_hz,
+                    system_loss_db=config.system_loss_db,
+                    theta_reader=config.theta_reader,
+                    los_occlusion=config.los_occlusion,
+                    antenna_port=i + 1,
+                    link_profile=config.link_profile,
+                ),
+                p.environment,
+                noise,
+                rng=self.rng,
+            )
+            for i, p in enumerate(ports)
+        ]
+
+    @property
+    def port_count(self) -> int:
+        return len(self.readers)
+
+    def collect(
+        self,
+        duration: float,
+        pose_fns: Sequence[Optional[HandPoseFn]],
+    ) -> List[ReportLog]:
+        """Inventory all ports round-robin for ``duration`` seconds.
+
+        ``pose_fns[i]`` is port i's scene callback in *global* session
+        time (or None for a quiet pad).  Returns one log per port, with
+        timestamps on the shared session clock.
+        """
+        if len(pose_fns) != self.port_count:
+            raise ValueError(
+                f"need {self.port_count} pose callbacks, got {len(pose_fns)}"
+            )
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        logs = [ReportLog() for _ in self.readers]
+        t = 0.0
+        port = 0
+        while t < duration:
+            dwell = min(self.dwell_s, duration - t)
+            if dwell > 1e-6:
+                self.readers[port].collect(
+                    dwell,
+                    pose_fns[port],
+                    start_time=t,
+                    log=logs[port],
+                )
+            t += dwell
+            port = (port + 1) % self.port_count
+        return logs

@@ -1,0 +1,214 @@
+"""The reader: Gen2 MAC + channel physics + receiver -> report stream.
+
+This is the simulated counterpart of the paper's Impinj Speedway R420 with
+the Octane low-level-data extension: it runs inventory rounds over the
+deployed array and, for every successful singulation, evaluates the full
+backscatter channel *at that instant* (hand position included) and emits a
+:class:`~repro.rfid.reports.TagReadReport`.
+
+The scene is supplied as a callable ``hand_pose_at(t)`` so the reader stays
+agnostic of how trajectories are produced — the motion layer generates
+them, replay from a file would work just as well.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..physics.antenna import ReaderAntenna
+from ..physics.channel import ChannelModel, Scatterer
+from ..physics.hand import HandPose, occlusion_loss_db
+from ..physics.multipath import Environment, free_space
+from ..physics.noise import ReceiverNoise, doppler_estimate_hz
+from ..units import (
+    DEFAULT_FREQUENCY_HZ,
+    TWO_PI,
+    db_to_linear,
+    dbm_to_watts,
+    wavelength,
+    wrap_phase,
+)
+from .deployment import TagArray
+from .protocol import Gen2Inventory, LinkProfile
+from .reports import ReportLog, TagReadReport
+
+HandPoseFn = Callable[[float], Optional[HandPose]]
+
+
+@dataclass(frozen=True)
+class ReaderConfig:
+    """Static reader configuration (the knobs the paper's evaluation sweeps).
+
+    ``system_loss_db`` is the *one-way* fixed implementation loss — cables,
+    polarisation mismatch, antenna inefficiency — that separates the ideal
+    link budget from what a real reader reports.
+    """
+
+    tx_power_dbm: float = 30.0
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    system_loss_db: float = 5.0
+    theta_reader: float = 1.234  # theta_T + theta_R circuit phase, radians
+    los_occlusion: bool = False  # ceiling (LOS) deployments suffer arm blockage
+    antenna_port: int = 1
+    #: Gen2 air-interface profile; None selects the dense-reader default.
+    #: Faster profiles raise the read rate and fight undersampling
+    #: (section VI's throughput mitigation, exercised by `ext_speed`).
+    link_profile: "LinkProfile | None" = None
+
+    @property
+    def tx_power_w(self) -> float:
+        return dbm_to_watts(self.tx_power_dbm)
+
+    @property
+    def wavelength(self) -> float:
+        return wavelength(self.frequency_hz)
+
+
+class Reader:
+    """A single-antenna reader bound to one tag array and one environment."""
+
+    def __init__(
+        self,
+        antenna: ReaderAntenna,
+        array: TagArray,
+        config: ReaderConfig = ReaderConfig(),
+        environment: Optional[Environment] = None,
+        noise: ReceiverNoise = ReceiverNoise(),
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.antenna = antenna
+        self.array = array
+        self.config = config
+        self.environment = environment if environment is not None else free_space()
+        self.noise = noise
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Nominal (flutter-free) channel for readability checks.
+        self._nominal_channel = ChannelModel(
+            antenna,
+            config.wavelength,
+            self.environment.image_antennas(antenna.position),
+        )
+        self._one_way_loss = math.sqrt(db_to_linear(-config.system_loss_db))
+        self._last_read: Dict[int, Tuple[float, float]] = {}  # tag -> (t, phase)
+
+    # ------------------------------------------------------------------
+    # Per-read channel evaluation
+    # ------------------------------------------------------------------
+
+    def _scatterers(self, pose: Optional[HandPose]) -> List[Scatterer]:
+        if pose is None:
+            return []
+        return pose.scatterers(include_arm=True)
+
+    def _direct_loss_db(self, tag_index: int, pose: Optional[HandPose]) -> float:
+        tag = self.array.tags[tag_index]
+        loss = tag.static_shadow_db
+        if self.config.los_occlusion and pose is not None:
+            loss += occlusion_loss_db(self.antenna.position, tag.position, pose)
+        return loss
+
+    def incident_power_w(self, tag_index: int, pose: Optional[HandPose]) -> float:
+        """Forward-link power at the tag, including system loss and coupling."""
+        tag = self.array.tags[tag_index]
+        g = self._nominal_channel.one_way(
+            tag.position,
+            tag.gain_linear,
+            self._scatterers(pose),
+            self._direct_loss_db(tag_index, pose),
+        )
+        return self.config.tx_power_w * abs(g * self._one_way_loss) ** 2
+
+    def readable_indices(self, pose: Optional[HandPose]) -> List[int]:
+        """Tags whose ICs power up under the current scene."""
+        return [
+            i
+            for i, tag in enumerate(self.array.tags)
+            if tag.is_powered(self.incident_power_w(i, pose))
+        ]
+
+    def observe_tag(self, tag_index: int, t: float, pose: Optional[HandPose]) -> TagReadReport:
+        """Evaluate the channel and produce the LLRP-style report for one read."""
+        tag = self.array.tags[tag_index]
+        # Per-read environment flutter: clutter moves between reads.
+        channel = ChannelModel(
+            self.antenna,
+            self.config.wavelength,
+            self.environment.image_antennas(self.antenna.position, self.rng),
+        )
+        s = channel.roundtrip(
+            self.config.tx_power_w,
+            tag.position,
+            tag.gain_linear,
+            tag.modulation_efficiency,
+            self._scatterers(pose),
+            self._direct_loss_db(tag_index, pose),
+        )
+        s *= self._one_way_loss**2
+        # Circuit phase offsets: reader TX+RX chain plus the tag's
+        # reflection characteristic (Eq. 6-7 of the paper), plus the
+        # near-field resonance detuning a hovering hand imposes on the tag.
+        detune = channel.detuning_phase_rad(tag.position, self._scatterers(pose))
+        s *= cmath.exp(-1j * (self.config.theta_reader + tag.theta_tag + detune))
+
+        rss_dbm, phase = self.noise.observe(s, self.rng)
+
+        doppler = 0.0
+        if tag_index in self._last_read:
+            t_prev, phase_prev = self._last_read[tag_index]
+            if t > t_prev:
+                doppler = doppler_estimate_hz(phase, phase_prev, t - t_prev, self.config.wavelength)
+        self._last_read[tag_index] = (t, phase)
+
+        return TagReadReport(
+            epc=tag.epc,
+            tag_index=tag.index,
+            timestamp=t,
+            phase_rad=phase,
+            rss_dbm=rss_dbm,
+            doppler_hz=doppler,
+            antenna_port=self.config.antenna_port,
+        )
+
+    # ------------------------------------------------------------------
+    # Inventory sessions
+    # ------------------------------------------------------------------
+
+    def collect(
+        self,
+        duration: float,
+        hand_pose_at: Optional[HandPoseFn] = None,
+        start_time: float = 0.0,
+        log: Optional[ReportLog] = None,
+    ) -> ReportLog:
+        """Run continuous inventory for ``duration`` seconds.
+
+        ``hand_pose_at(t)`` returns the hand pose at simulation time ``t``
+        (or ``None`` when no hand is in the scene).  Readability is
+        re-evaluated once per inventory round; each successful slot gets a
+        full channel evaluation at the slot's own timestamp.
+        """
+        if duration <= 0.0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        pose_at: HandPoseFn = hand_pose_at if hand_pose_at is not None else (lambda t: None)
+        inventory = Gen2Inventory(
+            self.rng, start_time=start_time, profile=self.config.link_profile
+        )
+        out = log if log is not None else ReportLog()
+
+        def readable_at(t: float) -> Sequence[int]:
+            return self.readable_indices(pose_at(t))
+
+        for slot in inventory.run_until(start_time + duration, readable_at):
+            if slot.kind == "success" and slot.winner is not None:
+                out.append(self.observe_tag(slot.winner, slot.time, pose_at(slot.time)))
+        self.last_inventory_stats = inventory.stats
+        return out
+
+    def collect_static(self, duration: float, start_time: float = 0.0) -> ReportLog:
+        """Inventory with no hand in the scene (calibration captures)."""
+        return self.collect(duration, hand_pose_at=None, start_time=start_time)

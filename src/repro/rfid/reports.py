@@ -1,0 +1,156 @@
+"""The reader's data plane: per-read reports and the report log.
+
+This mirrors what an LLRP client sees from an Impinj-class reader with the
+low-level user data extension enabled (paper section IV-A): a stream of
+``(EPC, antenna, timestamp, RSS, phase, Doppler)`` records.  RFIPad's whole
+pipeline consumes nothing but this stream, which is what makes the
+simulation substitution faithful: the algorithm cannot tell a simulated
+stream from a captured one.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TagReadReport:
+    """One successful singulation, as reported over LLRP."""
+
+    epc: str
+    tag_index: int          # flat array index; -1 for tags outside the pad
+    timestamp: float        # seconds since session start
+    phase_rad: float        # wrapped [0, 2*pi), quantised
+    rss_dbm: float          # quantised
+    doppler_hz: float = 0.0
+    antenna_port: int = 1
+
+
+@dataclass
+class TagSeries:
+    """All reads of one tag, in time order, unpacked into numpy arrays."""
+
+    tag_index: int
+    epc: str
+    timestamps: np.ndarray
+    phases: np.ndarray
+    rss: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def slice_time(self, t0: float, t1: float) -> "TagSeries":
+        """Sub-series with t0 <= timestamp < t1."""
+        lo = int(np.searchsorted(self.timestamps, t0, side="left"))
+        hi = int(np.searchsorted(self.timestamps, t1, side="left"))
+        return TagSeries(
+            self.tag_index,
+            self.epc,
+            self.timestamps[lo:hi],
+            self.phases[lo:hi],
+            self.rss[lo:hi],
+        )
+
+
+class ReportLog:
+    """An append-only, time-ordered log of tag read reports.
+
+    Provides the two views the pipeline needs: the raw interleaved stream
+    (for segmentation, which frames by wall-clock time) and per-tag series
+    (for calibration, imaging, and direction estimation).
+    """
+
+    def __init__(self, reports: Iterable[TagReadReport] = ()) -> None:
+        self._reports: List[TagReadReport] = []
+        self._sorted = True
+        for r in reports:
+            self.append(r)
+
+    def append(self, report: TagReadReport) -> None:
+        if self._reports and report.timestamp < self._reports[-1].timestamp:
+            self._sorted = False
+        self._reports.append(report)
+
+    def extend(self, reports: Iterable[TagReadReport]) -> None:
+        for r in reports:
+            self.append(r)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._reports.sort(key=lambda r: r.timestamp)
+            self._sorted = True
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def __iter__(self) -> Iterator[TagReadReport]:
+        self._ensure_sorted()
+        return iter(self._reports)
+
+    def __getitem__(self, i: int) -> TagReadReport:
+        self._ensure_sorted()
+        return self._reports[i]
+
+    @property
+    def duration(self) -> float:
+        """Time span covered by the log (0 for empty/single-read logs)."""
+        self._ensure_sorted()
+        if len(self._reports) < 2:
+            return 0.0
+        return self._reports[-1].timestamp - self._reports[0].timestamp
+
+    @property
+    def start_time(self) -> float:
+        self._ensure_sorted()
+        if not self._reports:
+            raise ValueError("empty report log has no start time")
+        return self._reports[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        self._ensure_sorted()
+        if not self._reports:
+            raise ValueError("empty report log has no end time")
+        return self._reports[-1].timestamp
+
+    def tag_indices(self) -> List[int]:
+        return sorted({r.tag_index for r in self._reports})
+
+    def read_count(self, tag_index: int) -> int:
+        return sum(1 for r in self._reports if r.tag_index == tag_index)
+
+    def per_tag(self) -> Dict[int, TagSeries]:
+        """Split the log into per-tag numpy series."""
+        self._ensure_sorted()
+        buckets: Dict[int, List[TagReadReport]] = {}
+        for r in self._reports:
+            buckets.setdefault(r.tag_index, []).append(r)
+        out: Dict[int, TagSeries] = {}
+        for idx, rows in buckets.items():
+            out[idx] = TagSeries(
+                tag_index=idx,
+                epc=rows[0].epc,
+                timestamps=np.array([r.timestamp for r in rows], dtype=float),
+                phases=np.array([r.phase_rad for r in rows], dtype=float),
+                rss=np.array([r.rss_dbm for r in rows], dtype=float),
+            )
+        return out
+
+    def slice_time(self, t0: float, t1: float) -> "ReportLog":
+        """New log with reports in [t0, t1)."""
+        self._ensure_sorted()
+        keys = [r.timestamp for r in self._reports]
+        lo = bisect.bisect_left(keys, t0)
+        hi = bisect.bisect_left(keys, t1)
+        return ReportLog(self._reports[lo:hi])
+
+    def aggregate_read_rate(self) -> float:
+        """Total successful reads per second across all tags."""
+        d = self.duration
+        if d <= 0.0:
+            return 0.0
+        return len(self._reports) / d

@@ -1,0 +1,35 @@
+"""Experiment orchestration: scenario construction, session running, and
+evaluation metrics.
+"""
+
+from .metrics import (
+    DetectionCounts,
+    SegmentationScore,
+    confusion_matrix,
+    empirical_cdf,
+    merge_segmentation_scores,
+    per_label_accuracy,
+    percentile,
+    score_motion_trials,
+    score_segmentation,
+)
+from .runner import LetterTrial, MotionTrial, SessionRunner
+from .scenario import Scenario, ScenarioConfig, build_scenario
+
+__all__ = [
+    "DetectionCounts",
+    "LetterTrial",
+    "MotionTrial",
+    "Scenario",
+    "ScenarioConfig",
+    "SegmentationScore",
+    "SessionRunner",
+    "build_scenario",
+    "confusion_matrix",
+    "empirical_cdf",
+    "merge_segmentation_scores",
+    "per_label_accuracy",
+    "percentile",
+    "score_motion_trials",
+    "score_segmentation",
+]

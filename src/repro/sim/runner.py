@@ -1,0 +1,142 @@
+"""Session runner: drive the reader over writing scripts and score results.
+
+The runner owns the experiment loop the paper's evaluation repeats
+hundreds of times: calibrate once per deployment, then for each trial
+generate a script, run inventory over it, and feed the log to the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.events import LetterResult, StrokeObservation
+from ..core.pipeline import RFIPad, RFIPadConfig
+from ..motion.letters import LETTER_STROKES
+from ..motion.script import WritingScript, script_for_letter, script_for_motion
+from ..motion.strokes import Motion
+from ..motion.user import DEFAULT_USER, UserProfile
+from ..rfid.reader import Reader
+from ..rfid.reports import ReportLog
+from .scenario import Scenario, ScenarioConfig, build_scenario
+
+
+@dataclass
+class MotionTrial:
+    """Outcome of one single-motion session."""
+
+    truth: Motion
+    observed: Optional[StrokeObservation]
+    log_size: int
+
+    @property
+    def shape_correct(self) -> bool:
+        return self.observed is not None and self.observed.kind is self.truth.kind
+
+    @property
+    def direction_correct(self) -> bool:
+        if self.observed is None:
+            return False
+        from ..motion.strokes import StrokeKind
+
+        if self.truth.kind is StrokeKind.CLICK:
+            return True  # clicks have no direction
+        return self.observed.direction is self.truth.direction
+
+    @property
+    def fully_correct(self) -> bool:
+        return self.shape_correct and self.direction_correct
+
+    @property
+    def detected(self) -> bool:
+        return self.observed is not None
+
+
+@dataclass
+class LetterTrial:
+    """Outcome of one letter-writing session."""
+
+    truth: str
+    result: LetterResult
+    true_stroke_intervals: List[Tuple[float, float]]
+    true_stroke_tokens: Tuple[str, ...]
+
+    @property
+    def correct(self) -> bool:
+        return self.result.letter == self.truth
+
+
+class SessionRunner:
+    """Binds a scenario, its reader, and a calibrated pipeline."""
+
+    def __init__(
+        self,
+        scenario: Optional[Scenario] = None,
+        pipeline_config: Optional[RFIPadConfig] = None,
+        calibration_duration: float = 3.0,
+    ) -> None:
+        self.scenario = scenario if scenario is not None else build_scenario()
+        self.reader: Reader = self.scenario.make_reader()
+        self.pad = RFIPad(self.scenario.layout, config=pipeline_config)
+        static = self.reader.collect_static(calibration_duration)
+        self.pad.calibrate_from(static)
+        self.static_log = static
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.scenario.rng
+
+    # ------------------------------------------------------------------
+
+    def run_script(self, script: WritingScript) -> ReportLog:
+        """Collect the report stream for one session."""
+        return self.reader.collect(script.duration, script.hand_pose_at)
+
+    def run_motion(
+        self,
+        motion: Motion,
+        user: UserProfile = DEFAULT_USER,
+        speed: Optional[float] = None,
+    ) -> MotionTrial:
+        script = script_for_motion(motion, self.rng, user=user, speed=speed)
+        log = self.run_script(script)
+        observed = self.pad.detect_motion(log)
+        return MotionTrial(truth=motion, observed=observed, log_size=len(log))
+
+    def run_motion_battery(
+        self,
+        motions: Sequence[Motion],
+        repeats: int,
+        user: UserProfile = DEFAULT_USER,
+    ) -> List[MotionTrial]:
+        trials = []
+        for motion in motions:
+            for _ in range(repeats):
+                trials.append(self.run_motion(motion, user=user))
+        return trials
+
+    def run_letter(
+        self, letter: str, user: UserProfile = DEFAULT_USER
+    ) -> LetterTrial:
+        script = script_for_letter(letter, self.rng, user=user)
+        log = self.run_script(script)
+        result = self.pad.recognize_letter(log)
+        return LetterTrial(
+            truth=letter.upper(),
+            result=result,
+            true_stroke_intervals=script.stroke_intervals(),
+            true_stroke_tokens=tuple(
+                s.shape_token for s in LETTER_STROKES[letter.upper()]
+            ),
+        )
+
+    def run_letter_battery(
+        self, letters: Sequence[str], repeats: int, user: UserProfile = DEFAULT_USER
+    ) -> List[LetterTrial]:
+        trials = []
+        for letter in letters:
+            for _ in range(repeats):
+                trials.append(self.run_letter(letter, user=user))
+        return trials

@@ -1,0 +1,104 @@
+"""Physical constants, unit helpers, and RF conversions shared by every layer.
+
+All internal computation is done in SI units (metres, seconds, watts,
+radians).  dBm/dB values only appear at the edges: reader configuration and
+reported RSS, matching how a commodity UHF reader presents data.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: RFIPad's prototype carrier frequency (Hz), paper section IV-A.
+DEFAULT_FREQUENCY_HZ = 922.38e6
+
+#: Phase resolution reported by an Impinj-class reader (radians), paper
+#: section III-A: "0.0015 radians".
+PHASE_QUANTUM_RAD = 0.0015
+
+#: RSS quantisation step of a commodity reader report (dB).
+RSS_QUANTUM_DB = 0.5
+
+TWO_PI = 2.0 * math.pi
+
+
+def wavelength(frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> float:
+    """Return the carrier wavelength in metres.
+
+    >>> round(wavelength(), 3)
+    0.325
+    """
+    if frequency_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert a power level in dBm to watts.
+
+    >>> dbm_to_watts(30.0)
+    1.0
+    """
+    return 10.0 ** (dbm / 10.0) / 1000.0
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert a power level in watts to dBm.
+
+    Raises ``ValueError`` for non-positive power: zero watts has no dBm
+    representation and always indicates an upstream bug (use
+    ``watts_to_dbm_floor`` if a sentinel floor is wanted).
+    """
+    if watts <= 0.0:
+        raise ValueError(f"power must be positive, got {watts} W")
+    return 10.0 * math.log10(watts * 1000.0)
+
+
+def watts_to_dbm_floor(watts: float, floor_dbm: float = -120.0) -> float:
+    """Like :func:`watts_to_dbm` but clamps non-positive/tiny powers to a floor."""
+    if watts <= 0.0:
+        return floor_dbm
+    return max(floor_dbm, watts_to_dbm(watts))
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB."""
+    if ratio <= 0.0:
+        raise ValueError(f"ratio must be positive, got {ratio}")
+    return 10.0 * math.log10(ratio)
+
+
+def wrap_phase(phase_rad: float) -> float:
+    """Wrap an angle into the reader's reporting interval [0, 2*pi).
+
+    >>> wrap_phase(-0.1) > 6.1
+    True
+    >>> wrap_phase(7.0) < 1.0
+    True
+    """
+    wrapped = math.fmod(phase_rad, TWO_PI)
+    if wrapped < 0.0:
+        wrapped += TWO_PI
+    # fmod can return TWO_PI itself through rounding; normalise.
+    if wrapped >= TWO_PI:
+        wrapped -= TWO_PI
+    return wrapped
+
+
+def quantise(value: float, quantum: float) -> float:
+    """Round ``value`` to the nearest multiple of ``quantum``.
+
+    Models the fixed-point reporting of commodity readers.  ``quantum <= 0``
+    disables quantisation (returns the value unchanged) so tests can opt out.
+    """
+    if quantum <= 0.0:
+        return value
+    return round(value / quantum) * quantum

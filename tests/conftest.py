@@ -1,0 +1,23 @@
+"""Shared fixtures.
+
+The session-scoped runner is expensive (deployment + calibration), so the
+suites share one; tests that mutate state build their own.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import SessionRunner
+from repro.sim.scenario import ScenarioConfig, build_scenario
+
+
+@pytest.fixture(scope="session")
+def shared_runner() -> SessionRunner:
+    return SessionRunner(build_scenario(ScenarioConfig(seed=7)))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

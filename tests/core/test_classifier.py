@@ -1,0 +1,112 @@
+import numpy as np
+import pytest
+
+from repro.core.classifier import ClassifierConfig, classify_shape
+from repro.core.direction import Trough, trough_path
+from repro.core.imaging import BinaryMap, GreyMap
+from repro.motion.strokes import ArcOpening, StrokeKind
+from repro.physics.geometry import GridLayout
+
+LAYOUT = GridLayout()
+
+
+def _maps(cells):
+    values = np.zeros((5, 5))
+    mask = np.zeros((5, 5), dtype=bool)
+    for r, c in cells:
+        mask[r, c] = True
+        values[r, c] = 1.0
+    return GreyMap(values, LAYOUT), BinaryMap(mask, 0.5, LAYOUT)
+
+
+def _path(cells_times):
+    troughs = [
+        Trough(tag_index=LAYOUT.index_of(r, c), time=t, depth_db=8.0)
+        for (r, c), t in cells_times
+    ]
+    return trough_path(troughs, LAYOUT)
+
+
+def test_empty_map():
+    grey, binary = _maps([])
+    assert classify_shape(grey, binary) is None
+
+
+def test_click_compact_blob_no_path():
+    grey, binary = _maps([(2, 2)])
+    decision = classify_shape(grey, binary)
+    assert decision.kind is StrokeKind.CLICK
+
+
+def test_click_with_stationary_troughs():
+    grey, binary = _maps([(2, 2), (2, 3), (3, 2)])
+    path = _path([((2, 2), 1.0), ((2, 3), 1.05), ((3, 2), 1.1)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.5)
+    assert decision.kind is StrokeKind.CLICK
+
+
+def test_hbar_from_full_row():
+    grey, binary = _maps([(2, c) for c in range(5)])
+    path = _path([((2, c), 0.2 * c) for c in range(5)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.0)
+    assert decision.kind is StrokeKind.HBAR
+    assert decision.line_angle_deg == pytest.approx(0.0, abs=10.0)
+
+
+def test_vbar_from_full_column():
+    grey, binary = _maps([(r, 2) for r in range(5)])
+    path = _path([((r, 2), 0.2 * r) for r in range(5)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.0)
+    assert decision.kind is StrokeKind.VBAR
+
+
+def test_slash_diagonal():
+    cells = [(4, 0), (3, 1), (2, 2), (1, 3), (0, 4)]
+    grey, binary = _maps(cells)
+    path = _path([(c, 0.2 * i) for i, c in enumerate(cells)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.0)
+    assert decision.kind is StrokeKind.SLASH
+
+
+def test_arc_c_from_ring():
+    cells = [(0, 2), (0, 1), (1, 0), (2, 0), (3, 0), (4, 1), (4, 2)]
+    grey, binary = _maps(cells)
+    path = _path([(c, 0.2 * i) for i, c in enumerate(cells)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.5)
+    assert decision.kind is StrokeKind.ARC_C
+    assert decision.opening is ArcOpening.RIGHT
+    assert decision.token == "arc:right"
+
+
+def test_arc_d_from_ring():
+    cells = [(0, 2), (0, 3), (1, 4), (2, 4), (3, 4), (4, 3), (4, 2)]
+    grey, binary = _maps(cells)
+    path = _path([(c, 0.2 * i) for i, c in enumerate(cells)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.5)
+    assert decision.kind is StrokeKind.ARC_D
+    assert decision.opening is ArcOpening.LEFT
+
+
+def test_decisively_straight_path_vetoes_arc():
+    # Image looks thick/curvy, but the trough path is perfectly straight.
+    cells = [(2, 0), (2, 1), (1, 1), (2, 2), (3, 2), (2, 3), (2, 4), (1, 3)]
+    grey, binary = _maps(cells)
+    path = _path([((2, c), 0.2 * c) for c in range(5)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.0)
+    assert decision.kind in (StrokeKind.HBAR, StrokeKind.SLASH, StrokeKind.BACKSLASH)
+
+
+def test_degenerate_blob_uses_chord_angle():
+    # 2-cell blob would read as HBAR from image moments (angle 0), but the
+    # trough chord is vertical.
+    grey, binary = _maps([(1, 2), (2, 2)])
+    path = _path([((0, 2), 0.0), ((2, 2), 0.4), ((4, 2), 0.8)])
+    decision = classify_shape(grey, binary, path=path, window_s=1.0)
+    assert decision.kind is StrokeKind.VBAR
+
+
+def test_config_is_respected():
+    grey, binary = _maps([(2, 2), (2, 3)])
+    strict = ClassifierConfig(click_max_span=1, click_max_extent=0.5)
+    decision = classify_shape(grey, binary, strict)
+    assert decision.kind is not StrokeKind.CLICK

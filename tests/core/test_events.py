@@ -1,0 +1,43 @@
+import pytest
+
+from repro.core.events import LetterResult, SegmentedWindow, StrokeObservation
+from repro.motion.strokes import Direction, StrokeKind
+
+
+def _obs(kind=StrokeKind.HBAR, direction=Direction.FORWARD, token="hbar"):
+    return StrokeObservation(
+        kind=kind, direction=direction, token=token,
+        t0=1.0, t1=2.5, confidence=0.8,
+    )
+
+
+class TestStrokeObservation:
+    def test_duration(self):
+        assert _obs().duration == 1.5
+
+    def test_label_directions(self):
+        assert _obs(direction=Direction.FORWARD).label == "−+"
+        assert _obs(direction=Direction.REVERSE).label == "−-"
+
+    def test_click_label_has_no_arrow(self):
+        obs = _obs(kind=StrokeKind.CLICK, token="click")
+        assert obs.label == "⊙"
+
+
+class TestSegmentedWindow:
+    def test_duration(self):
+        assert SegmentedWindow(0.5, 1.7, 1.0).duration == pytest.approx(1.2)
+
+
+class TestLetterResult:
+    def test_stroke_tokens(self):
+        result = LetterResult(
+            letter="T",
+            strokes=(_obs(token="hbar"), _obs(kind=StrokeKind.VBAR, token="vbar")),
+        )
+        assert result.stroke_tokens == ("hbar", "vbar")
+
+    def test_empty(self):
+        result = LetterResult(letter=None, strokes=())
+        assert result.stroke_tokens == ()
+        assert result.candidates == ()

@@ -1,0 +1,153 @@
+import math
+
+import pytest
+
+from repro.core.events import StrokeObservation
+from repro.core.grammar import (
+    TreeGrammar,
+    letter_geometry,
+    observed_geometry,
+    stroke_pair_cost,
+    token_distance,
+)
+from repro.core.imaging import BinaryMap, GreyMap
+from repro.core.features import extract_features
+from repro.motion.letters import LETTER_STROKES, shape_sequence
+from repro.motion.strokes import ArcOpening, Direction, StrokeKind
+from repro.physics.geometry import GridLayout
+
+import numpy as np
+
+LAYOUT = GridLayout()
+
+
+def _obs(token, cells, t0=0.0, t1=1.0, angle=None):
+    values = np.zeros((5, 5))
+    mask = np.zeros((5, 5), dtype=bool)
+    for r, c in cells:
+        mask[r, c] = True
+        values[r, c] = 1.0
+    grey = GreyMap(values, LAYOUT)
+    binary = BinaryMap(mask, 0.5, LAYOUT)
+    kind = {
+        "hbar": StrokeKind.HBAR, "vbar": StrokeKind.VBAR,
+        "slash": StrokeKind.SLASH, "backslash": StrokeKind.BACKSLASH,
+        "click": StrokeKind.CLICK,
+    }.get(token, StrokeKind.ARC_C)
+    opening = None
+    if token.startswith("arc:"):
+        opening = ArcOpening(token.split(":")[1])
+    return StrokeObservation(
+        kind=kind, direction=Direction.FORWARD, token=token, t0=t0, t1=t1,
+        confidence=1.0, opening=opening,
+        features=extract_features(grey, binary), grey=grey, binary=binary,
+        line_angle_deg=angle,
+    )
+
+
+class TestTokenDistance:
+    def test_exact_match(self):
+        assert token_distance("vbar", "vbar") == 0.0
+        assert token_distance("arc:left", "arc:left") == 0.0
+
+    def test_arc_openings_graded(self):
+        adjacent = token_distance("arc:left", "arc:up")
+        opposite = token_distance("arc:left", "arc:right")
+        assert 0.0 < adjacent < opposite <= 1.0
+
+    def test_line_bins_graded(self):
+        near = token_distance("vbar", "backslash")
+        far = token_distance("vbar", "hbar")
+        assert near < far
+
+    def test_click_confusions_moderate(self):
+        assert token_distance("click", "hbar") == pytest.approx(0.60)
+        assert token_distance("click", "arc:left") == pytest.approx(0.75)
+
+
+class TestPrefixTree:
+    def test_exact_match_unique(self):
+        g = TreeGrammar()
+        assert g.exact_match(shape_sequence("H")) == ["H"]
+
+    def test_exact_match_ambiguous_group(self):
+        g = TreeGrammar()
+        matches = g.exact_match(shape_sequence("D"))
+        assert "D" in matches and "P" not in matches or "P" in matches
+        # D and P differ only in position, so at token level they collide.
+        assert set(g.exact_match(("vbar", "arc:left"))) >= {"D"}
+
+    def test_prefix_candidates_narrow(self):
+        g = TreeGrammar()
+        one = g.candidates_for_prefix(("vbar",))
+        two = g.candidates_for_prefix(("vbar", "hbar"))
+        assert set(two) <= set(one)
+        assert "H" in two and "E" in two
+
+    def test_unknown_prefix_empty(self):
+        g = TreeGrammar()
+        assert g.candidates_for_prefix(("arc:left", "arc:left", "arc:left", "arc:left")) == []
+
+
+class TestPositionDisambiguation:
+    def test_d_vs_p(self):
+        g = TreeGrammar()
+        bar = _obs("vbar", [(r, 1) for r in range(5)])
+        full_bowl = _obs("arc:left", [(0, 2), (1, 3), (2, 3), (3, 3), (4, 2)])
+        top_bump = _obs("arc:left", [(0, 2), (1, 3), (2, 2)])
+        d_result = g.recognize([bar, full_bowl])
+        p_result = g.recognize([bar, top_bump])
+        assert d_result.letter == "D"
+        assert p_result.letter == "P"
+
+    def test_letter_geometry_normalised(self):
+        for letter in ("D", "P", "O", "S"):
+            geom = letter_geometry(letter)
+            assert all(0.0 <= s.cx <= 1.0 and 0.0 <= s.cy <= 1.0 for s in geom)
+
+    def test_observed_geometry_aspect_preserved(self):
+        bar = _obs("vbar", [(r, 1) for r in range(5)])
+        geom = observed_geometry([bar])
+        assert geom[0].width == pytest.approx(0.0)
+        assert geom[0].height == pytest.approx(1.0)
+
+
+class TestRecognize:
+    def test_empty(self):
+        result = TreeGrammar().recognize([])
+        assert result.letter is None
+
+    def test_h_from_clean_strokes(self):
+        g = TreeGrammar()
+        left = _obs("vbar", [(r, 1) for r in range(5)], angle=90.0)
+        cross = _obs("hbar", [(2, 1), (2, 2), (2, 3)], angle=0.0)
+        right = _obs("vbar", [(r, 3) for r in range(5)], angle=90.0)
+        result = g.recognize([left, cross, right])
+        assert result.letter == "H"
+        assert result.candidates[0][0] == "H"
+
+    def test_angle_aware_scoring_recovers_narrow_v(self):
+        g = TreeGrammar()
+        # Narrow V: both legs read as steep "vbar" but with telling angles.
+        left = _obs("vbar", [(0, 1), (1, 1), (2, 1), (3, 2), (4, 2)], angle=-75.0)
+        right = _obs("vbar", [(4, 2), (3, 3), (2, 3), (1, 3), (0, 3)], angle=75.0)
+        result = g.recognize([left, right])
+        assert result.letter == "V"
+
+    def test_reject_above_threshold(self):
+        g = TreeGrammar(accept_threshold=0.01)
+        junk = _obs("click", [(0, 0)])
+        result = g.recognize([junk, junk, junk, junk])
+        assert result.letter is None
+
+    def test_score_infinite_for_wrong_count(self):
+        g = TreeGrammar()
+        bar = _obs("vbar", [(r, 1) for r in range(5)])
+        assert math.isinf(g.score_letter("H", [bar]))
+
+
+def test_stroke_pair_cost_uses_continuous_angle():
+    bar = _obs("vbar", [(r, 2) for r in range(5)], angle=72.0)
+    v_leg = LETTER_STROKES["V"][1]  # the "/" leg, ~72 degrees
+    h_bar = LETTER_STROKES["H"][1]  # the "−" crossbar
+    assert stroke_pair_cost(bar, v_leg) < stroke_pair_cost(bar, h_bar)

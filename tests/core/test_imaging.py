@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.core.imaging import BinaryMap, GreyMap, render_grey_map
+from repro.physics.geometry import GridLayout
+
+
+def test_render_places_values_row_major():
+    layout = GridLayout()
+    grey = render_grey_map({0: 1.0, 12: 2.0, 24: 3.0}, layout)
+    assert grey.values[0, 0] == 1.0
+    assert grey.values[2, 2] == 2.0
+    assert grey.values[4, 4] == 3.0
+
+
+def test_missing_tags_render_zero():
+    layout = GridLayout()
+    grey = render_grey_map({0: 1.0}, layout)
+    assert grey.values.sum() == 1.0
+
+
+def test_negative_values_clamped():
+    layout = GridLayout()
+    grey = render_grey_map({0: -5.0, 1: 2.0}, layout)
+    assert grey.values[0, 0] == 0.0
+
+
+def test_loose_tags_ignored():
+    layout = GridLayout()
+    grey = render_grey_map({-1: 9.0, 3: 1.0}, layout)
+    assert grey.values.max() == 1.0
+
+
+def test_normalized_range():
+    layout = GridLayout()
+    grey = render_grey_map({i: float(i) for i in range(25)}, layout)
+    norm = grey.normalized()
+    assert norm.max() == 1.0
+    assert norm.min() == 0.0
+
+
+def test_normalized_all_zero():
+    layout = GridLayout()
+    grey = render_grey_map({}, layout)
+    assert grey.normalized().sum() == 0.0
+
+
+def test_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        GreyMap(np.zeros((3, 3)), GridLayout())
+
+
+def test_ascii_art_dimensions():
+    layout = GridLayout()
+    grey = render_grey_map({12: 1.0}, layout)
+    art = grey.ascii_art()
+    lines = art.split("\n")
+    assert len(lines) == 5
+    assert all(len(line) == 5 for line in lines)
+    assert lines[2][2] != " "
+
+
+def test_binary_map_helpers():
+    layout = GridLayout()
+    mask = np.zeros((5, 5), dtype=bool)
+    mask[1, 3] = True
+    binary = BinaryMap(mask, threshold=0.5, layout=layout)
+    assert binary.foreground_cells() == [(1, 3)]
+    assert binary.foreground_count() == 1
+    assert binary.ascii_art().split("\n")[1][3] == "#"

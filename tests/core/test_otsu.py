@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.core.imaging import GreyMap
+from repro.core.otsu import (
+    between_class_variance,
+    binarize,
+    binarize_fixed,
+    otsu_threshold,
+)
+from repro.physics.geometry import GridLayout
+
+
+def test_bimodal_split():
+    values = [0.1] * 20 + [0.9] * 5
+    thr = otsu_threshold(values)
+    assert 0.1 < thr < 0.9
+
+
+def test_constant_input_returns_constant():
+    assert otsu_threshold([0.5] * 10) == 0.5
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        otsu_threshold([])
+
+
+def test_bins_validated():
+    with pytest.raises(ValueError):
+        otsu_threshold([1.0, 2.0], bins=1)
+
+
+def test_threshold_maximises_between_class_variance():
+    rng = np.random.default_rng(0)
+    values = np.concatenate([rng.normal(1, 0.2, 200), rng.normal(5, 0.3, 60)])
+    thr = otsu_threshold(values, bins=128)
+    best = between_class_variance(values, thr)
+    for candidate in np.linspace(values.min() + 0.01, values.max() - 0.01, 60):
+        assert between_class_variance(values, candidate) <= best * 1.02
+
+
+def test_binarize_on_grid():
+    layout = GridLayout()
+    values = np.full((5, 5), 0.1)
+    values[:, 2] = 1.0  # third column lit
+    binary = binarize(GreyMap(values, layout))
+    assert binary.foreground_count() == 5
+    assert all(c == 2 for _, c in binary.foreground_cells())
+
+
+def test_binarize_fixed():
+    layout = GridLayout()
+    values = np.arange(25, dtype=float).reshape(5, 5)
+    binary = binarize_fixed(GreyMap(values, layout), threshold=20.0)
+    assert binary.foreground_count() == 4
+    assert binary.threshold == 20.0
+
+
+def test_between_class_variance_degenerate_split():
+    values = [1.0, 2.0, 3.0]
+    assert between_class_variance(values, 0.0) == 0.0  # all foreground
+    assert between_class_variance(values, 5.0) == 0.0  # all background
+
+
+def test_otsu_scale_invariance():
+    values = np.array([0.1] * 20 + [0.9] * 5)
+    t1 = otsu_threshold(values)
+    t2 = otsu_threshold(values * 10.0)
+    assert t2 == pytest.approx(t1 * 10.0, rel=0.05)

@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.segmentation import (
+    SegmentationConfig,
+    auto_threshold,
+    frame_rms,
+    segment_strokes,
+    window_std,
+)
+from repro.motion.script import script_for_letter, script_for_motion
+from repro.motion.strokes import Motion, StrokeKind
+from repro.rfid.reports import ReportLog, TagReadReport
+from repro.units import TWO_PI
+
+
+def test_window_std_sliding():
+    rms = np.array([0.0, 0.0, 0.0, 5.0, 5.0, 5.0])
+    stds = window_std(rms, 3)
+    assert stds[0] == 0.0
+    assert stds[1] > 1.0  # window [1,4) sees the jump
+    assert stds[-1] == 0.0  # single trailing frame
+
+
+def test_frame_rms_empty_log(shared_runner):
+    times, rms = frame_rms(ReportLog(), shared_runner.pad.calibration)
+    assert times.size == 0 and rms.size == 0
+
+
+def test_frame_rms_quiet_vs_active(shared_runner):
+    script = script_for_motion(Motion(StrokeKind.VBAR), shared_runner.rng)
+    log = shared_runner.run_script(script)
+    times, rms = frame_rms(log, shared_runner.pad.calibration)
+    t0, t1 = script.stroke_intervals()[0]
+    active = rms[(times >= t0) & (times < t1)]
+    quiet = rms[times < t0 - 0.15]
+    assert active.mean() > 10 * max(quiet.mean(), 1e-3)
+
+
+def test_single_motion_segmented(shared_runner):
+    script = script_for_motion(Motion(StrokeKind.HBAR), shared_runner.rng)
+    log = shared_runner.run_script(script)
+    windows = segment_strokes(log, shared_runner.pad.calibration,
+                              shared_runner.pad.config.segmentation)
+    assert len(windows) == 1
+    t0, t1 = script.stroke_intervals()[0]
+    assert windows[0].t0 < t0 + 0.3
+    assert windows[0].t1 > t1 - 0.3
+
+
+def test_letter_h_three_windows(shared_runner):
+    script = script_for_letter("H", shared_runner.rng)
+    log = shared_runner.run_script(script)
+    windows = segment_strokes(log, shared_runner.pad.calibration,
+                              shared_runner.pad.config.segmentation)
+    assert len(windows) == 3
+
+
+def test_static_log_no_windows(shared_runner):
+    log = shared_runner.reader.collect_static(2.0)
+    windows = segment_strokes(log, shared_runner.pad.calibration,
+                              shared_runner.pad.config.segmentation)
+    assert windows == []
+
+
+def test_min_stroke_filter(shared_runner):
+    config = SegmentationConfig(
+        threshold=shared_runner.pad.config.segmentation.threshold,
+        noise_floor=shared_runner.pad.config.segmentation.noise_floor,
+        min_stroke_s=99.0,
+    )
+    script = script_for_motion(Motion(StrokeKind.HBAR), shared_runner.rng)
+    log = shared_runner.run_script(script)
+    assert segment_strokes(log, shared_runner.pad.calibration, config) == []
+
+
+def test_auto_threshold_above_static_noise(shared_runner):
+    static = shared_runner.reader.collect_static(3.0)
+    thr = auto_threshold(static, shared_runner.pad.calibration)
+    times, rms = frame_rms(static, shared_runner.pad.calibration)
+    stds = window_std(rms, 5)
+    assert thr > np.percentile(stds, 95)
+
+
+def test_auto_threshold_short_capture_rejected(shared_runner):
+    static = shared_runner.reader.collect_static(0.2)
+    with pytest.raises(ValueError):
+        auto_threshold(static, shared_runner.pad.calibration)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SegmentationConfig(frame_s=0.0)
+    with pytest.raises(ValueError):
+        SegmentationConfig(window_frames=1)
+    with pytest.raises(ValueError):
+        SegmentationConfig(threshold=-0.1)

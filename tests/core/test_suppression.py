@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.core.calibration import calibrate
+from repro.core.suppression import accumulative_differences, disturbance_score
+from repro.rfid.reports import ReportLog, TagReadReport
+from repro.units import TWO_PI
+
+
+def _log(phases_by_tag, dt=0.06):
+    log = ReportLog()
+    for tag, phases in phases_by_tag.items():
+        for i, p in enumerate(phases):
+            log.append(
+                TagReadReport(
+                    epc=f"E-{tag}", tag_index=tag,
+                    timestamp=i * dt + tag * 0.001,
+                    phase_rad=float(np.mod(p, TWO_PI)), rss_dbm=-40.0,
+                )
+            )
+    return log
+
+
+@pytest.fixture()
+def calibration(rng):
+    static = {
+        0: np.mod(rng.normal(1.0, 0.02, 60), TWO_PI),
+        1: np.mod(rng.normal(4.0, 0.02, 60), TWO_PI),
+        2: np.mod(rng.normal(0.01, 0.02, 60), TWO_PI),  # near the boundary
+    }
+    return calibrate(_log(static))
+
+
+def test_disturbed_tag_scores_higher(calibration, rng):
+    motion = {
+        0: 1.0 + 1.5 * np.sin(np.linspace(0, 6, 40)),          # disturbed
+        1: np.mod(rng.normal(4.0, 0.02, 40), TWO_PI),          # static
+        2: np.mod(rng.normal(0.01, 0.02, 40), TWO_PI),         # static
+    }
+    result = accumulative_differences(_log(motion), calibration)
+    assert result.suppressed[0] > 3.0 * result.suppressed[1]
+    assert result.suppressed[0] > 3.0 * result.suppressed[2]
+
+
+def test_boundary_tag_raw_is_inflated(calibration, rng):
+    # Tag 2's static phase sits at ~0: wrapped reports flicker between
+    # ~0 and ~2*pi, so the *raw* accumulative difference explodes while
+    # the suppressed one stays small.
+    quiet = {
+        1: np.mod(rng.normal(4.0, 0.03, 40), TWO_PI),
+        2: np.mod(rng.normal(0.0, 0.03, 40), TWO_PI),
+    }
+    result = accumulative_differences(_log(quiet), calibration)
+    assert result.raw[2] > 5.0 * result.raw[1]
+    assert result.suppressed[2] < 3.0 * result.suppressed[1]
+
+
+def test_unread_calibrated_tags_zero(calibration):
+    result = accumulative_differences(_log({0: [1.0] * 10}), calibration)
+    assert result.suppressed[1] == 0.0
+    assert result.read_counts[1] == 0
+
+
+def test_uncalibrated_tags_ignored(calibration):
+    result = accumulative_differences(_log({9: [1.0, 2.0, 3.0]}), calibration)
+    assert 9 not in result.suppressed
+
+
+def test_window_slicing(calibration):
+    motion = {0: [1.0 + (0.5 if 10 <= i < 20 else 0.0) * np.sin(i) for i in range(40)]}
+    full = accumulative_differences(_log(motion), calibration)
+    window = accumulative_differences(_log(motion), calibration, t0=2.0, t1=2.2)
+    assert window.suppressed[0] <= full.suppressed[0]
+
+
+def test_weighting_divides_by_bias(rng):
+    # Same disturbance on two tags; the noisier-in-calibration tag must
+    # score lower after weighting.
+    static = {
+        0: np.mod(rng.normal(1.0, 0.01, 80), TWO_PI),
+        1: np.mod(rng.normal(2.0, 0.20, 80), TWO_PI),
+    }
+    cal = calibrate(_log(static))
+    motion = {
+        0: 1.0 + 0.8 * np.sin(np.linspace(0, 6, 40)),
+        1: 2.0 + 0.8 * np.sin(np.linspace(0, 6, 40)),
+    }
+    result = accumulative_differences(_log(motion), cal)
+    assert result.suppressed[0] > result.suppressed[1]
+
+
+def test_disturbance_score_positive_under_motion(calibration):
+    motion = {0: 1.0 + np.sin(np.linspace(0, 6, 40))}
+    result = accumulative_differences(_log(motion), calibration)
+    assert disturbance_score(result) > 0.0

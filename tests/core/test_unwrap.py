@@ -1,0 +1,89 @@
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.unwrap import (
+    fold_to_pi,
+    largest_jump,
+    total_variation,
+    unwrap,
+    unwrap_residual,
+)
+from repro.units import TWO_PI
+
+
+class TestFold:
+    def test_identity_inside_branch(self):
+        assert fold_to_pi(0.5) == pytest.approx(0.5)
+        assert fold_to_pi(-3.0) == pytest.approx(-3.0)
+
+    def test_folds_large_positive(self):
+        assert fold_to_pi(TWO_PI - 0.1) == pytest.approx(-0.1)
+
+    def test_folds_large_negative(self):
+        assert fold_to_pi(-TWO_PI + 0.2) == pytest.approx(0.2)
+
+    def test_pi_maps_to_pi(self):
+        assert fold_to_pi(math.pi) == pytest.approx(math.pi)
+
+
+class TestUnwrap:
+    def test_smooth_series_unchanged(self):
+        series = [1.0, 1.1, 1.2, 1.3]
+        assert np.allclose(unwrap(series), series)
+
+    def test_boundary_crossing_down(self):
+        out = unwrap([0.1, TWO_PI - 0.1, TWO_PI - 0.3])
+        assert out[1] == pytest.approx(-0.1)
+        assert out[2] == pytest.approx(-0.3)
+
+    def test_boundary_crossing_up(self):
+        out = unwrap([TWO_PI - 0.1, 0.1, 0.3])
+        assert out[1] == pytest.approx(TWO_PI + 0.1)
+
+    def test_no_jump_exceeds_pi(self):
+        rng = np.random.default_rng(0)
+        wrapped = np.mod(np.cumsum(rng.normal(0, 0.8, 100)), TWO_PI)
+        assert largest_jump(unwrap(wrapped)) <= math.pi + 1e-9
+
+    def test_recovers_linear_trend(self):
+        t = np.linspace(0, 12, 400)
+        truth = 1.5 + 0.9 * t
+        recovered = unwrap(np.mod(truth, TWO_PI))
+        assert np.allclose(recovered, truth, atol=1e-9)
+
+    def test_empty_and_single(self):
+        assert unwrap([]).size == 0
+        assert unwrap([2.0])[0] == 2.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            unwrap(np.zeros((2, 2)))
+
+
+class TestResidual:
+    def test_centred_near_zero(self):
+        reference = 6.0
+        wrapped = np.mod(reference + np.array([0.05, -0.03, 0.4, -0.4]), TWO_PI)
+        residual = unwrap_residual(wrapped, reference)
+        assert np.all(np.abs(residual) < 0.5)
+
+    def test_reference_at_boundary(self):
+        # Samples straddling 0/2*pi around a reference of ~0.
+        wrapped = np.array([0.05, TWO_PI - 0.05, 0.1, TWO_PI - 0.1])
+        residual = unwrap_residual(wrapped, 0.0)
+        assert np.all(np.abs(residual) < 0.2)
+
+
+class TestTotalVariation:
+    def test_basic(self):
+        assert total_variation([0.0, 1.0, 0.5]) == pytest.approx(1.5)
+
+    def test_short_series(self):
+        assert total_variation([1.0]) == 0.0
+        assert total_variation([]) == 0.0
+
+    def test_monotone_equals_range(self):
+        series = np.linspace(0, 5, 50)
+        assert total_variation(series) == pytest.approx(5.0)

@@ -1,0 +1,68 @@
+import pytest
+
+from repro.motion.letters import (
+    ALPHABET,
+    LETTER_STROKES,
+    ambiguous_groups,
+    letters_by_stroke_count,
+    shape_sequence,
+    stroke_count,
+    validate_grouping,
+)
+
+
+def test_all_26_letters_present():
+    assert len(LETTER_STROKES) == 26
+    assert ALPHABET == "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def test_grouping_matches_paper():
+    validate_grouping()  # raises on drift
+    groups = letters_by_stroke_count()
+    assert groups[1] == ["C", "I"]
+    assert len(groups[2]) == 9
+    assert len(groups[3]) == 12
+    assert groups[4] == ["E", "M", "W"]
+
+
+def test_stroke_count():
+    assert stroke_count("c") == 1
+    assert stroke_count("E") == 4
+
+
+def test_shape_sequences_use_known_tokens():
+    valid_lines = {"hbar", "vbar", "slash", "backslash", "click"}
+    for letter in ALPHABET:
+        for token in shape_sequence(letter):
+            assert token in valid_lines or token.startswith("arc:")
+
+
+def test_anchors_inside_letter_box():
+    for letter, specs in LETTER_STROKES.items():
+        for spec in specs:
+            for x, y in (spec.start, spec.end):
+                assert -0.05 <= x <= 1.05, (letter, spec)
+                assert -0.05 <= y <= 1.05, (letter, spec)
+
+
+def test_known_ambiguous_groups_resolved_by_position():
+    groups = ambiguous_groups()
+    flat = {letter for group in groups for letter in group}
+    # The paper's canonical collisions must be in there (D/P, O/S-type).
+    assert {"D", "P"} <= flat
+    # Ambiguity is positional only: same tokens, different anchors.
+    for group in groups:
+        anchor_sets = {
+            tuple((s.start, s.end) for s in LETTER_STROKES[letter])
+            for letter in group
+        }
+        assert len(anchor_sets) == len(group)
+
+
+def test_h_decomposition_is_bar_bar_bar():
+    assert shape_sequence("H") == ("vbar", "hbar", "vbar")
+
+
+def test_unknown_letter_raises():
+    with pytest.raises(KeyError):
+        stroke_count("é")

@@ -1,0 +1,41 @@
+import pytest
+
+from repro.motion.user import DEFAULT_USER, UserProfile, default_users, user_by_id
+
+
+def test_ten_volunteers():
+    users = default_users()
+    assert len(users) == 10
+    assert [u.user_id for u in users] == list(range(1, 11))
+
+
+def test_fast_writers_are_6_and_9():
+    users = {u.user_id: u for u in default_users()}
+    speeds = sorted(users.values(), key=lambda u: u.speed, reverse=True)
+    assert {speeds[0].user_id, speeds[1].user_id} == {6, 9}
+
+
+def test_lookup():
+    assert user_by_id(4).user_id == 4
+    with pytest.raises(KeyError):
+        user_by_id(11)
+
+
+def test_default_user_is_typical():
+    speeds = [u.speed for u in default_users()]
+    assert min(speeds) <= DEFAULT_USER.speed <= sorted(speeds)[6]
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        UserProfile(user_id=0, name="x", speed=0.0)
+    with pytest.raises(ValueError):
+        UserProfile(user_id=0, name="x", raised_height=0.02, hover_height=0.03)
+    with pytest.raises(ValueError):
+        UserProfile(user_id=0, name="x", adjustment_time=-1.0)
+
+
+def test_profiles_span_paper_ranges():
+    users = default_users()
+    arms = [u.arm_length for u in users]
+    assert min(arms) >= 0.56 and max(arms) <= 0.70  # paper: 56-70 cm

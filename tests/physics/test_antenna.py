@@ -1,0 +1,84 @@
+import math
+
+import pytest
+
+from repro.physics.antenna import (
+    ReaderAntenna,
+    minimum_plane_distance,
+    plane_side_for_grid,
+)
+from repro.physics.geometry import Vec3
+from repro.units import linear_to_db
+
+
+@pytest.fixture()
+def panel() -> ReaderAntenna:
+    return ReaderAntenna(Vec3(0, 0, -0.32), Vec3(0, 0, 1), gain_dbi=8.0)
+
+
+def test_beam_angle_physical_8dbi(panel):
+    # 8 dBi -> linear 6.31 -> sqrt(4pi/6.31) ~= 81 degrees.
+    assert panel.beam_angle_degrees() == pytest.approx(80.9, abs=0.5)
+
+
+def test_beam_angle_paper_arithmetic():
+    # The paper plugs G=8 (linear) into Eq. 14 and quotes ~72 degrees.
+    ant = ReaderAntenna(Vec3(0, 0, 0), Vec3(0, 0, 1), gain_dbi=linear_to_db(8.0))
+    assert ant.beam_angle_degrees() == pytest.approx(71.8, abs=0.5)
+
+
+def test_boresight_gain_is_peak(panel):
+    boresight_gain = panel.gain_towards(Vec3(0, 0, 1))
+    off_axis_gain = panel.gain_towards(Vec3(0.3, 0, 0))
+    assert boresight_gain == pytest.approx(panel.gain_linear)
+    assert off_axis_gain < boresight_gain
+
+
+def test_pattern_monotone_with_angle(panel):
+    gains = [
+        panel.gain_towards(Vec3(math.sin(a), 0.0, -0.32 + math.cos(a)))
+        for a in (0.0, 0.3, 0.6, 0.9, 1.2)
+    ]
+    assert all(g1 >= g2 for g1, g2 in zip(gains, gains[1:]))
+
+
+def test_back_hemisphere_attenuated(panel):
+    behind = panel.gain_towards(Vec3(0, 0, -1.0))
+    assert linear_to_db(panel.gain_linear / behind) >= panel.front_to_back_db - 1e-6
+
+
+def test_half_power_at_half_beam_angle(panel):
+    half = panel.beam_angle() / 2.0
+    target = Vec3(math.sin(half), 0.0, -0.32 + math.cos(half))
+    ratio = panel.gain_towards(target) / panel.gain_linear
+    assert ratio == pytest.approx(0.5, rel=0.05)
+
+
+def test_gain_towards_self_rejected(panel):
+    with pytest.raises(ValueError):
+        panel.gain_towards(panel.position)
+
+
+def test_zero_boresight_rejected():
+    with pytest.raises(ValueError):
+        ReaderAntenna(Vec3(0, 0, 0), Vec3(0, 0, 0))
+
+
+def test_plane_side_for_prototype():
+    # 5 tags of 4.4 cm + 4 gaps of 6 cm = 46 cm (paper section IV-B.3).
+    assert plane_side_for_grid(0.044, 0.06, 5) == pytest.approx(0.46)
+
+
+def test_minimum_plane_distance_paper_value():
+    d = minimum_plane_distance(0.46, linear_to_db(8.0))
+    assert d == pytest.approx(0.317, abs=0.005)
+
+
+def test_minimum_plane_distance_wide_beam_is_zero():
+    # A near-isotropic antenna covers any parallel plane from any distance.
+    assert minimum_plane_distance(0.46, gain_dbi=0.1) == 0.0
+
+
+def test_minimum_plane_distance_validates():
+    with pytest.raises(ValueError):
+        minimum_plane_distance(0.0)

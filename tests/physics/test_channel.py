@@ -1,0 +1,112 @@
+import cmath
+import math
+
+import pytest
+
+from repro.physics.antenna import ReaderAntenna
+from repro.physics.channel import ChannelModel, Scatterer
+from repro.physics.geometry import Vec3
+from repro.units import TWO_PI, db_to_linear, wavelength
+
+LAMBDA = wavelength()
+
+
+@pytest.fixture()
+def model() -> ChannelModel:
+    antenna = ReaderAntenna(Vec3(0, 0, -0.32), Vec3(0, 0, 1), gain_dbi=8.0)
+    return ChannelModel(antenna, LAMBDA)
+
+
+def test_direct_path_phase_matches_distance(model):
+    tag = Vec3(0, 0, 0)
+    g = model.one_way(tag, tag_gain_linear=1.58)
+    expected_phase = -TWO_PI * 0.32 / LAMBDA
+    assert cmath.phase(g) == pytest.approx(
+        math.remainder(expected_phase, TWO_PI), abs=1e-9
+    )
+
+
+def test_roundtrip_phase_doubles_one_way(model):
+    tag = Vec3(0.05, 0.02, 0)
+    g = model.one_way(tag, 1.58)
+    s = model.roundtrip(1.0, tag, 1.58)
+    assert cmath.phase(s) == pytest.approx(
+        math.remainder(2 * cmath.phase(g), TWO_PI), abs=1e-9
+    )
+
+
+def test_incident_power_follows_inverse_square(model):
+    near = model.incident_power(1.0, Vec3(0, 0, 0), 1.58)
+    antenna_far = ReaderAntenna(Vec3(0, 0, -0.64), Vec3(0, 0, 1), gain_dbi=8.0)
+    far_model = ChannelModel(antenna_far, LAMBDA)
+    far = far_model.incident_power(1.0, Vec3(0, 0, 0), 1.58)
+    assert near / far == pytest.approx(4.0, rel=0.01)
+
+
+def test_backscatter_power_follows_inverse_fourth(model):
+    tag = Vec3(0, 0, 0)
+    p_near = abs(model.roundtrip(1.0, tag, 1.58)) ** 2
+    antenna_far = ReaderAntenna(Vec3(0, 0, -0.64), Vec3(0, 0, 1), gain_dbi=8.0)
+    p_far = abs(ChannelModel(antenna_far, LAMBDA).roundtrip(1.0, tag, 1.58)) ** 2
+    assert p_near / p_far == pytest.approx(16.0, rel=0.01)
+
+
+def test_scatterer_adds_path(model):
+    tag = Vec3(0, 0, 0)
+    hand = Scatterer(Vec3(0, 0, 0.03), rcs_m2=0.003)
+    paths = model.resolve_paths(tag, 1.58, [hand])
+    kinds = [p.kind for p in paths]
+    assert kinds == ["direct", "scatterer"]
+    assert paths[1].length > paths[0].length  # reflected path is longer
+
+
+def test_scatterer_amplitude_decays_with_hop(model):
+    tag = Vec3(0, 0, 0)
+    near = model.resolve_paths(tag, 1.58, [Scatterer(Vec3(0, 0, 0.03), 0.003)])[1]
+    far = model.resolve_paths(tag, 1.58, [Scatterer(Vec3(0, 0.2, 0.03), 0.003)])[1]
+    assert near.amplitude > far.amplitude
+
+
+def test_shadow_attenuation_local(model):
+    hand_over = Scatterer(Vec3(0, 0, 0.02), 0.003, shadow_depth_db=12.0)
+    on_tag = model.shadow_attenuation_db(Vec3(0, 0, 0), [hand_over])
+    off_tag = model.shadow_attenuation_db(Vec3(0.12, 0, 0), [hand_over])
+    assert on_tag > 5.0
+    assert off_tag < 0.5
+
+
+def test_detuning_phase_local(model):
+    hand = Scatterer(Vec3(0, 0, 0.02), 0.003, detune_rad=2.4)
+    on_tag = model.detuning_phase_rad(Vec3(0, 0, 0), [hand])
+    neighbour = model.detuning_phase_rad(Vec3(0.06, 0, 0), [hand])
+    far = model.detuning_phase_rad(Vec3(0.18, 0, 0), [hand])
+    assert on_tag > 1.5
+    assert neighbour < on_tag / 2.0
+    assert far < 0.05
+
+
+def test_occlusion_reduces_direct_amplitude(model):
+    tag = Vec3(0, 0, 0)
+    clear = model.resolve_paths(tag, 1.58)[0].amplitude
+    blocked = model.resolve_paths(tag, 1.58, direct_extra_loss_db=6.0)[0].amplitude
+    assert blocked == pytest.approx(clear * math.sqrt(db_to_linear(-6.0)))
+
+
+def test_reflector_image_adds_coherent_path():
+    antenna = ReaderAntenna(Vec3(0, 0, -0.32), Vec3(0, 0, 1), gain_dbi=8.0)
+    image = (Vec3(0, 0, -6.0), 0.3 + 0.0j)
+    model = ChannelModel(antenna, LAMBDA, reflector_images=[image])
+    paths = model.resolve_paths(Vec3(0, 0, 0), 1.58)
+    assert [p.kind for p in paths] == ["direct", "reflector"]
+    assert paths[1].length == pytest.approx(6.0, abs=0.01)
+
+
+def test_invalid_wavelength_rejected():
+    antenna = ReaderAntenna(Vec3(0, 0, -1), Vec3(0, 0, 1))
+    with pytest.raises(ValueError):
+        ChannelModel(antenna, 0.0)
+
+
+def test_incident_power_rejects_nonpositive_tx(model):
+    with pytest.raises(ValueError):
+        model.incident_power(0.0, Vec3(0, 0, 0), 1.0)

@@ -1,0 +1,87 @@
+import pytest
+
+from repro.physics.coupling import (
+    ALL_DESIGNS,
+    TAG_DESIGN_A,
+    TAG_DESIGN_B,
+    TAG_DESIGN_D,
+    TagAntennaProfile,
+    aggregate_shadow_loss_db,
+    alternating_facing_pattern,
+    design_by_name,
+    pair_shadow_loss_db,
+)
+from repro.physics.geometry import GridLayout, Vec3
+
+
+def test_four_designs_with_distinct_rcs():
+    rcs = [d.rcs_m2 for d in ALL_DESIGNS]
+    assert len(set(rcs)) == 4
+    assert TAG_DESIGN_B.rcs_m2 == min(rcs)   # AZ-E53-class, smallest
+    assert TAG_DESIGN_D.rcs_m2 == max(rcs)
+
+
+def test_design_lookup():
+    assert design_by_name("B") is TAG_DESIGN_B
+    with pytest.raises(KeyError):
+        design_by_name("Z")
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        TagAntennaProfile("X", rcs_m2=0.0, size_m=0.05)
+    with pytest.raises(ValueError):
+        TagAntennaProfile("X", rcs_m2=0.001, size_m=0.0)
+
+
+def test_pair_loss_decays_with_distance():
+    losses = [pair_shadow_loss_db(d, TAG_DESIGN_D) for d in (0.03, 0.06, 0.12)]
+    assert losses[0] > losses[1] > losses[2]
+    assert losses[2] < 1.0  # negligible beyond ~12 cm (paper IV-B.1)
+
+
+def test_pair_loss_scales_with_rcs():
+    assert pair_shadow_loss_db(0.03, TAG_DESIGN_D) > pair_shadow_loss_db(
+        0.03, TAG_DESIGN_B
+    )
+
+
+def test_opposite_facing_suppresses_coupling():
+    same = pair_shadow_loss_db(0.03, TAG_DESIGN_D, same_facing=True)
+    opposite = pair_shadow_loss_db(0.03, TAG_DESIGN_D, same_facing=False)
+    assert opposite < 0.2 * same
+
+
+def test_pair_loss_validates_separation():
+    with pytest.raises(ValueError):
+        pair_shadow_loss_db(0.0, TAG_DESIGN_A)
+
+
+def test_aggregate_monotone_in_population():
+    target = Vec3(0, 0, -0.03)
+    small = GridLayout(rows=5, cols=1, pitch=0.06).positions()
+    large = GridLayout(rows=5, cols=3, pitch=0.06).positions()
+    assert aggregate_shadow_loss_db(target, large, TAG_DESIGN_D) >= (
+        aggregate_shadow_loss_db(target, small, TAG_DESIGN_D)
+    )
+
+
+def test_aggregate_saturates():
+    target = Vec3(0, 0, -0.01)
+    huge = GridLayout(rows=9, cols=9, pitch=0.03).positions()
+    assert aggregate_shadow_loss_db(target, huge, TAG_DESIGN_D) <= 26.0
+
+
+def test_aggregate_skips_collocated_tag():
+    target = Vec3(0, 0, 0)
+    loss = aggregate_shadow_loss_db(target, [target], TAG_DESIGN_D)
+    assert loss == 0.0
+
+
+def test_alternating_pattern_checkerboard():
+    grid = alternating_facing_pattern(3, 3)
+    assert grid[0][0] != grid[0][1]
+    assert grid[0][0] != grid[1][0]
+    assert grid[0][0] == grid[1][1]
+    with pytest.raises(ValueError):
+        alternating_facing_pattern(0, 3)

@@ -1,0 +1,143 @@
+import math
+
+import pytest
+
+from repro.physics.geometry import (
+    GridLayout,
+    Vec3,
+    angle_between,
+    centroid,
+    mirror_across_plane,
+    path_length,
+    resample_polyline,
+    rotate_about_y,
+)
+
+
+class TestVec3:
+    def test_arithmetic(self):
+        a, b = Vec3(1, 2, 3), Vec3(4, 5, 6)
+        assert a + b == Vec3(5, 7, 9)
+        assert b - a == Vec3(3, 3, 3)
+        assert a * 2 == Vec3(2, 4, 6)
+        assert 2 * a == Vec3(2, 4, 6)
+        assert -a == Vec3(-1, -2, -3)
+
+    def test_dot_cross_norm(self):
+        x, y = Vec3(1, 0, 0), Vec3(0, 1, 0)
+        assert x.dot(y) == 0.0
+        assert x.cross(y) == Vec3(0, 0, 1)
+        assert Vec3(3, 4, 0).norm() == 5.0
+
+    def test_normalized(self):
+        v = Vec3(0, 0, 2).normalized()
+        assert v == Vec3(0, 0, 1)
+        with pytest.raises(ValueError):
+            Vec3(0, 0, 0).normalized()
+
+    def test_lerp_endpoints_and_middle(self):
+        a, b = Vec3(0, 0, 0), Vec3(2, 4, 6)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+        assert a.lerp(b, 0.5) == Vec3(1, 2, 3)
+
+    def test_distance(self):
+        assert Vec3(1, 1, 1).distance_to(Vec3(1, 1, 2)) == 1.0
+
+
+class TestAngles:
+    def test_angle_between_orthogonal(self):
+        assert angle_between(Vec3(1, 0, 0), Vec3(0, 1, 0)) == pytest.approx(math.pi / 2)
+
+    def test_angle_between_parallel_and_antiparallel(self):
+        assert angle_between(Vec3(1, 0, 0), Vec3(2, 0, 0)) == pytest.approx(0.0)
+        assert angle_between(Vec3(1, 0, 0), Vec3(-1, 0, 0)) == pytest.approx(math.pi)
+
+    def test_angle_between_rejects_zero(self):
+        with pytest.raises(ValueError):
+            angle_between(Vec3(0, 0, 0), Vec3(1, 0, 0))
+
+    def test_rotate_about_y(self):
+        rotated = rotate_about_y(Vec3(0, 0, 1), math.pi / 2)
+        assert rotated.x == pytest.approx(1.0)
+        assert rotated.z == pytest.approx(0.0, abs=1e-12)
+
+
+def test_mirror_across_plane():
+    image = mirror_across_plane(Vec3(0, 0, -1), Vec3(0, 0, 2), Vec3(0, 0, 1))
+    assert image == Vec3(0, 0, 5)
+
+
+class TestGridLayout:
+    def test_default_prototype_grid(self):
+        g = GridLayout()
+        assert g.count == 25
+        assert g.width == pytest.approx(0.24)
+
+    def test_positions_centred(self):
+        g = GridLayout(rows=5, cols=5, pitch=0.06)
+        c = centroid(g.positions())
+        assert c.x == pytest.approx(0.0, abs=1e-12)
+        assert c.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_row0_is_top(self):
+        g = GridLayout()
+        assert g.position(0, 0).y > g.position(4, 0).y
+
+    def test_index_roundtrip(self):
+        g = GridLayout(rows=3, cols=4, pitch=0.05)
+        for r in range(3):
+            for c in range(4):
+                assert g.row_col(g.index_of(r, c)) == (r, c)
+
+    def test_out_of_range(self):
+        g = GridLayout()
+        with pytest.raises(IndexError):
+            g.position(5, 0)
+        with pytest.raises(IndexError):
+            g.row_col(25)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GridLayout(rows=0)
+        with pytest.raises(ValueError):
+            GridLayout(pitch=0.0)
+
+    def test_nearest_cell(self):
+        g = GridLayout()
+        assert g.nearest_cell(Vec3(0.0, 0.0, 0.1)) == (2, 2)
+        assert g.nearest_cell(Vec3(-0.2, 0.2, 0.0)) == (0, 0)
+
+
+class TestPolyline:
+    def test_path_length(self):
+        pts = [Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(1, 1, 0)]
+        assert path_length(pts) == pytest.approx(2.0)
+
+    def test_resample_uniform_spacing(self):
+        pts = [Vec3(0, 0, 0), Vec3(10, 0, 0)]
+        out = resample_polyline(pts, 11)
+        assert len(out) == 11
+        steps = [out[i].distance_to(out[i + 1]) for i in range(10)]
+        assert all(s == pytest.approx(1.0) for s in steps)
+
+    def test_resample_keeps_endpoints(self):
+        pts = [Vec3(0, 0, 0), Vec3(1, 2, 3), Vec3(5, 5, 5)]
+        out = resample_polyline(pts, 7)
+        assert out[0] == pts[0]
+        assert out[-1].distance_to(pts[-1]) < 1e-9
+
+    def test_resample_degenerate(self):
+        out = resample_polyline([Vec3(1, 1, 1)], 4)
+        assert out == [Vec3(1, 1, 1)] * 4
+
+    def test_resample_validates(self):
+        with pytest.raises(ValueError):
+            resample_polyline([], 5)
+        with pytest.raises(ValueError):
+            resample_polyline([Vec3(0, 0, 0)], 1)
+
+
+def test_centroid_empty_raises():
+    with pytest.raises(ValueError):
+        centroid([])

@@ -1,0 +1,72 @@
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.physics.noise import ReceiverNoise, doppler_estimate_hz
+from repro.units import dbm_to_watts
+
+
+@pytest.fixture()
+def noise() -> ReceiverNoise:
+    return ReceiverNoise()
+
+
+def test_strong_signal_low_phase_jitter(noise, rng):
+    baseband = math.sqrt(dbm_to_watts(-20.0)) * cmath.exp(1j * 1.0)
+    phases = [noise.observe(baseband, rng)[1] for _ in range(300)]
+    assert np.std(phases) < 0.03
+
+
+def test_weak_signal_higher_phase_jitter(noise, rng):
+    strong = math.sqrt(dbm_to_watts(-20.0)) * cmath.exp(1j * 1.0)
+    weak = math.sqrt(dbm_to_watts(-60.0)) * cmath.exp(1j * 1.0)
+    strong_std = np.std([noise.observe(strong, rng)[1] for _ in range(300)])
+    weak_std = np.std([noise.observe(weak, rng)[1] for _ in range(300)])
+    assert weak_std > 2.0 * strong_std
+
+
+def test_rss_matches_input_level(noise, rng):
+    baseband = math.sqrt(dbm_to_watts(-30.0))
+    rss = [noise.observe(baseband, rng)[0] for _ in range(200)]
+    assert np.mean(rss) == pytest.approx(-30.0, abs=1.0)
+
+
+def test_reported_phase_in_range(noise, rng):
+    baseband = math.sqrt(dbm_to_watts(-40.0)) * cmath.exp(1j * 5.9)
+    for _ in range(50):
+        _, phase = noise.observe(baseband, rng)
+        assert 0.0 <= phase < 2.0 * math.pi
+
+
+def test_phase_quantisation(rng):
+    noise = ReceiverNoise(residual_phase_jitter_rad=0.0)
+    baseband = math.sqrt(dbm_to_watts(-20.0)) * cmath.exp(1j * 1.0)
+    _, phase = noise.observe(baseband, rng)
+    steps = phase / noise.phase_quantum_rad
+    assert steps == pytest.approx(round(steps), abs=1e-6)
+
+
+def test_phase_std_estimate_monotone(noise):
+    strong = noise.phase_std_estimate(dbm_to_watts(-20.0))
+    weak = noise.phase_std_estimate(dbm_to_watts(-90.0))
+    none = noise.phase_std_estimate(0.0)
+    assert strong < weak < none
+    assert none == pytest.approx(math.pi / math.sqrt(3.0))
+
+
+def test_doppler_finite_difference():
+    # pi/2 phase advance over 0.25 s -> 1 Hz... (dphi/(2*pi*dt)).
+    d = doppler_estimate_hz(1.5 + math.pi / 2, 1.5, 0.25, 0.325)
+    assert d == pytest.approx(1.0)
+
+
+def test_doppler_folds_to_principal_branch():
+    d = doppler_estimate_hz(6.2, 0.1, 1.0, 0.325)
+    assert abs(d) <= 0.5  # |dphi| folded to <= pi
+
+
+def test_doppler_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        doppler_estimate_hz(1.0, 0.5, 0.0, 0.325)

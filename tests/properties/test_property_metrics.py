@@ -1,0 +1,70 @@
+"""Property tests for the evaluation metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.events import SegmentedWindow
+from repro.sim.metrics import (
+    empirical_cdf,
+    merge_segmentation_scores,
+    score_segmentation,
+)
+
+interval = st.tuples(
+    st.floats(min_value=0.0, max_value=50.0),
+    st.floats(min_value=0.05, max_value=5.0),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+intervals = st.lists(interval, max_size=8)
+
+
+@given(intervals, intervals)
+@settings(max_examples=60)
+def test_segmentation_rates_bounded(window_ivs, truth_ivs):
+    windows = [SegmentedWindow(a, b, 1.0) for a, b in window_ivs]
+    score = score_segmentation(windows, truth_ivs)
+    assert 0.0 <= score.insertion_rate <= 1.0
+    assert 0.0 <= score.underfill_rate <= 1.0
+    assert 0.0 <= score.miss_rate <= score.underfill_rate + 1e-12
+    assert score.insertions <= score.detected_windows
+    assert score.underfills <= score.true_strokes
+
+
+@given(intervals)
+@settings(max_examples=40)
+def test_perfect_windows_never_insert_or_miss(truth_ivs):
+    windows = [SegmentedWindow(a, b, 1.0) for a, b in truth_ivs]
+    score = score_segmentation(windows, truth_ivs)
+    assert score.insertions == 0
+    assert score.misses == 0
+    assert score.underfills == 0
+
+
+@given(intervals)
+@settings(max_examples=40)
+def test_no_windows_means_all_missed(truth_ivs):
+    score = score_segmentation([], truth_ivs)
+    assert score.misses == len(truth_ivs)
+    assert score.underfills == len(truth_ivs)
+
+
+@given(st.lists(st.tuples(intervals, intervals), max_size=4))
+@settings(max_examples=30)
+def test_merge_is_count_additive(sessions):
+    scores = [
+        score_segmentation([SegmentedWindow(a, b, 1.0) for a, b in w], t)
+        for w, t in sessions
+    ]
+    merged = merge_segmentation_scores(scores)
+    assert merged.true_strokes == sum(s.true_strokes for s in scores)
+    assert merged.insertions == sum(s.insertions for s in scores)
+    assert merged.misses == sum(s.misses for s in scores)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=100))
+def test_cdf_is_monotone_and_complete(values):
+    xs, fracs = empirical_cdf(values)
+    assert list(xs) == sorted(values)
+    assert fracs[-1] == pytest.approx(1.0)
+    assert all(f1 <= f2 for f1, f2 in zip(fracs, fracs[1:]))

@@ -1,0 +1,88 @@
+import json
+
+import pytest
+
+from repro.motion.script import script_for_motion
+from repro.motion.strokes import Motion, StrokeKind
+from repro.rfid.capture import dump_log, load_log, load_metadata
+from repro.rfid.reports import ReportLog, TagReadReport
+
+
+@pytest.fixture()
+def session_log(shared_runner):
+    script = script_for_motion(Motion(StrokeKind.VBAR), shared_runner.rng)
+    return shared_runner.run_script(script)
+
+
+def test_roundtrip_preserves_reports(session_log, tmp_path):
+    path = tmp_path / "session.jsonl"
+    count = dump_log(session_log, path, metadata={"label": "|+"})
+    assert count == len(session_log)
+    loaded = load_log(path)
+    assert len(loaded) == len(session_log)
+    for a, b in zip(session_log, loaded):
+        assert a == b
+
+
+def test_metadata_roundtrip(session_log, tmp_path):
+    path = tmp_path / "session.jsonl"
+    dump_log(session_log, path, metadata={"label": "|+", "seed": 7})
+    meta = load_metadata(path)
+    assert meta == {"label": "|+", "seed": 7}
+
+
+def test_pipeline_runs_on_replayed_capture(shared_runner, session_log, tmp_path):
+    path = tmp_path / "session.jsonl"
+    dump_log(session_log, path)
+    replayed = load_log(path)
+    live = shared_runner.pad.detect_motion(session_log)
+    from_capture = shared_runner.pad.detect_motion(replayed)
+    assert live is not None and from_capture is not None
+    assert live.kind == from_capture.kind
+    assert live.direction == from_capture.direction
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_log(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "future.jsonl"
+    path.write_text(json.dumps({"repro_capture": 99}) + "\n")
+    with pytest.raises(ValueError, match="version"):
+        load_log(path)
+
+
+def test_malformed_record_reports_line(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text(
+        json.dumps({"repro_capture": 1}) + "\n" + json.dumps({"epc": "x"}) + "\n"
+    )
+    with pytest.raises(ValueError, match="line 2"):
+        load_log(path)
+
+
+def test_blank_lines_tolerated(tmp_path):
+    log = ReportLog(
+        [TagReadReport(epc="E", tag_index=0, timestamp=0.0, phase_rad=1.0, rss_dbm=-40.0)]
+    )
+    path = tmp_path / "gaps.jsonl"
+    dump_log(log, path)
+    with open(path, "a") as fh:
+        fh.write("\n\n")
+    assert len(load_log(path)) == 1
+
+
+def test_optional_fields_defaulted(tmp_path):
+    path = tmp_path / "minimal.jsonl"
+    record = {
+        "epc": "E", "tag_index": 3, "timestamp": 1.5,
+        "phase_rad": 0.4, "rss_dbm": -42.0,
+    }
+    path.write_text(json.dumps({"repro_capture": 1}) + "\n" + json.dumps(record) + "\n")
+    loaded = load_log(path)
+    assert loaded[0].doppler_hz == 0.0
+    assert loaded[0].antenna_port == 1

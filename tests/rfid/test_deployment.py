@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from repro.physics.coupling import TAG_DESIGN_B, TAG_DESIGN_D
+from repro.physics.geometry import GridLayout
+from repro.rfid.deployment import TagArray, deploy_array
+
+
+def test_default_deployment_is_5x5(rng):
+    array = deploy_array(rng)
+    assert len(array) == 25
+    assert array.layout.rows == 5
+
+
+def test_unique_epcs(rng):
+    array = deploy_array(rng)
+    assert len({t.epc for t in array}) == 25
+
+
+def test_positions_match_layout(rng):
+    array = deploy_array(rng)
+    for tag in array:
+        r, c = array.layout.row_col(tag.index)
+        assert tag.position == array.layout.position(r, c)
+
+
+def test_checkerboard_facing(rng):
+    array = deploy_array(rng)
+    t00 = array.tag_at(0, 0)
+    t01 = array.tag_at(0, 1)
+    assert t00.facing_default != t01.facing_default
+
+
+def test_alternate_facing_reduces_shadow(rng):
+    alternating = deploy_array(np.random.default_rng(0), alternate_facing=True)
+    uniform = deploy_array(np.random.default_rng(0), alternate_facing=False)
+    centre_alt = alternating.tag_at(2, 2).static_shadow_db
+    centre_uni = uniform.tag_at(2, 2).static_shadow_db
+    assert centre_alt < centre_uni
+
+
+def test_corner_tags_less_shadowed_than_centre(rng):
+    array = deploy_array(rng)
+    assert array.tag_at(0, 0).static_shadow_db < array.tag_at(2, 2).static_shadow_db
+
+
+def test_big_rcs_design_more_shadow(rng):
+    small = deploy_array(np.random.default_rng(0), design=TAG_DESIGN_B)
+    big = deploy_array(np.random.default_rng(0), design=TAG_DESIGN_D)
+    assert big.tag_at(2, 2).static_shadow_db > small.tag_at(2, 2).static_shadow_db
+
+
+def test_by_epc_lookup(rng):
+    array = deploy_array(rng)
+    tag = array.tags[7]
+    assert array.by_epc(tag.epc) is tag
+    with pytest.raises(KeyError):
+        array.by_epc("nope")
+
+
+def test_mismatched_population_rejected(rng):
+    array = deploy_array(rng)
+    with pytest.raises(ValueError):
+        TagArray(layout=GridLayout(rows=2, cols=2), tags=array.tags)
+
+
+def test_theta_tags_diverse(rng):
+    array = deploy_array(rng)
+    thetas = [t.theta_tag for t in array]
+    assert max(thetas) - min(thetas) > 2.0  # spread over the circle

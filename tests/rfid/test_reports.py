@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.rfid.reports import ReportLog, TagReadReport
+
+
+def _report(tag: int, t: float, phase: float = 1.0, rss: float = -40.0) -> TagReadReport:
+    return TagReadReport(
+        epc=f"E-{tag:04d}", tag_index=tag, timestamp=t, phase_rad=phase, rss_dbm=rss
+    )
+
+
+def test_append_and_len():
+    log = ReportLog()
+    log.append(_report(0, 0.0))
+    log.extend([_report(1, 0.1), _report(0, 0.2)])
+    assert len(log) == 3
+
+
+def test_iteration_sorted_even_if_appended_out_of_order():
+    log = ReportLog([_report(0, 0.5), _report(1, 0.1), _report(2, 0.3)])
+    times = [r.timestamp for r in log]
+    assert times == sorted(times)
+
+
+def test_duration_and_bounds():
+    log = ReportLog([_report(0, 1.0), _report(0, 3.5)])
+    assert log.duration == pytest.approx(2.5)
+    assert log.start_time == 1.0
+    assert log.end_time == 3.5
+
+
+def test_empty_log_properties():
+    log = ReportLog()
+    assert log.duration == 0.0
+    with pytest.raises(ValueError):
+        _ = log.start_time
+    with pytest.raises(ValueError):
+        _ = log.end_time
+
+
+def test_per_tag_series():
+    log = ReportLog(
+        [_report(0, 0.0, phase=1.0), _report(1, 0.1, phase=2.0), _report(0, 0.2, phase=3.0)]
+    )
+    series = log.per_tag()
+    assert set(series) == {0, 1}
+    assert list(series[0].phases) == [1.0, 3.0]
+    assert len(series[1]) == 1
+
+
+def test_series_slice_time():
+    log = ReportLog([_report(0, t / 10.0) for t in range(10)])
+    series = log.per_tag()[0]
+    sliced = series.slice_time(0.25, 0.65)
+    assert list(sliced.timestamps) == pytest.approx([0.3, 0.4, 0.5, 0.6])
+
+
+def test_log_slice_time_half_open():
+    log = ReportLog([_report(0, float(t)) for t in range(5)])
+    window = log.slice_time(1.0, 3.0)
+    assert [r.timestamp for r in window] == [1.0, 2.0]
+
+
+def test_read_count_and_tag_indices():
+    log = ReportLog([_report(0, 0.0), _report(0, 0.1), _report(3, 0.2)])
+    assert log.read_count(0) == 2
+    assert log.read_count(9) == 0
+    assert log.tag_indices() == [0, 3]
+
+
+def test_aggregate_read_rate():
+    log = ReportLog([_report(0, t * 0.01) for t in range(101)])
+    assert log.aggregate_read_rate() == pytest.approx(101.0, rel=0.02)
+
+
+def test_getitem_sorted():
+    log = ReportLog([_report(0, 2.0), _report(1, 1.0)])
+    assert log[0].timestamp == 1.0

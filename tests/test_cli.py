@@ -1,0 +1,53 @@
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def test_experiments_listing(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out.split()
+    assert set(out) == set(ALL_EXPERIMENTS)
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "fig13"]) == 0
+    out = capsys.readouterr().out
+    assert "fig13" in out
+    assert "expectation [MET]" in out
+
+
+def test_run_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["run", "fig99"])
+
+
+def test_demo_letter(capsys):
+    assert main(["--seed", "3", "demo", "letter", "I"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 'I'" in out
+    assert "candidates" in out
+
+
+def test_demo_word_with_lexicon(capsys):
+    assert main(["--seed", "3", "demo", "word", "HI", "--lexicon", "HI,NO"]) == 0
+    out = capsys.readouterr().out
+    assert "decoded" in out
+
+
+def test_inspect(capsys):
+    assert main(["--seed", "3", "inspect", "--stroke", "hbar"]) == 0
+    out = capsys.readouterr().out
+    assert "per-tag RSS dip" in out
+    assert "recognised" in out
+
+
+def test_parser_rejects_bad_mount():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--mount", "sideways", "experiments"])
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["experiments"])
+    assert args.seed == 7
+    assert args.location == 2

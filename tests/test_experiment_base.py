@@ -1,0 +1,72 @@
+"""Unit tests for the experiment framework itself."""
+
+import pytest
+
+from repro.experiments.base import REGISTRY, ExperimentResult, register, run_experiment
+
+
+def _result(**overrides):
+    defaults = dict(
+        experiment_id="x",
+        title="t",
+        rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "z"}],
+    )
+    defaults.update(overrides)
+    return ExperimentResult(**defaults)
+
+
+class TestExperimentResult:
+    def test_column_names_union_in_order(self):
+        assert _result().column_names() == ["a", "b", "c"]
+
+    def test_column_access_with_gaps(self):
+        assert _result().column("b") == [2.5, None]
+
+    def test_to_text_contains_header_and_rows(self):
+        text = _result().to_text()
+        assert "== x: t ==" in text
+        assert "2.500" in text  # float formatting
+
+    def test_to_text_expectation_states(self):
+        met = _result(expectation="always", expectation_met=True).to_text()
+        assert "[MET]" in met
+        unmet = _result(expectation="never", expectation_met=False).to_text()
+        assert "[NOT MET]" in unmet
+        unchecked = _result(expectation="maybe").to_text()
+        assert "[unchecked]" in unchecked
+
+    def test_to_text_renders_notes(self):
+        text = _result(notes=["hello world"]).to_text()
+        assert "note: hello world" in text
+
+    def test_empty_rows(self):
+        text = _result(rows=[]).to_text()
+        assert text.startswith("==")
+
+
+class TestRegistry:
+    def test_register_and_run(self):
+        @register("_test_tmp")
+        def runner(fast=True, seed=0):
+            return _result(experiment_id="_test_tmp")
+
+        try:
+            result = run_experiment("_test_tmp")
+            assert result.experiment_id == "_test_tmp"
+        finally:
+            del REGISTRY["_test_tmp"]
+
+    def test_run_kwargs_forwarded(self):
+        @register("_test_kwargs")
+        def runner(fast=True, seed=0):
+            return _result(rows=[{"fast": fast, "seed": seed}])
+
+        try:
+            result = run_experiment("_test_kwargs", fast=False, seed=42)
+            assert result.rows[0] == {"fast": False, "seed": 42}
+        finally:
+            del REGISTRY["_test_kwargs"]
+
+    def test_unknown_id_lists_available(self):
+        with pytest.raises(KeyError, match="available"):
+            run_experiment("_does_not_exist")
