@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Repo check script: tests, a live observability smoke run, and lint.
+# No make required; run from anywhere:  sh scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+echo "== pytest =="
+python -m pytest -x -q
+
+echo "== repro stats --fast (observability smoke test) =="
+python -m repro stats --fast > /tmp/repro-stats-smoke.$$ 2>&1 || {
+    cat /tmp/repro-stats-smoke.$$
+    rm -f /tmp/repro-stats-smoke.$$
+    echo "repro stats --fast failed" >&2
+    exit 1
+}
+# The smoke run must surface every pipeline stage span.
+for stage in unwrap suppression imaging otsu classify direction segmentation grammar; do
+    if ! grep -q "$stage" /tmp/repro-stats-smoke.$$; then
+        rm -f /tmp/repro-stats-smoke.$$
+        echo "stats output is missing the '$stage' span" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/repro-stats-smoke.$$
+echo "ok"
+
+echo "== ruff =="
+if command -v ruff > /dev/null 2>&1; then
+    ruff check src tests
+elif python -c "import ruff" > /dev/null 2>&1; then
+    python -m ruff check src tests
+else
+    echo "ruff not installed; skipping lint (pip install ruff to enable)"
+fi
+
+echo "all checks passed"

@@ -10,6 +10,11 @@ Commands
 ``inspect``            dump the signal views of a single-motion session
 ``record <path>``      simulate a session and save its report stream (JSONL)
 ``replay <path>``      run the pipeline on a saved capture
+``stats``              run a standard battery with tracing + metrics on
+
+Global observability flags: ``--trace-out PATH`` records every span of the
+invoked command to a JSONL file; ``--log-level`` / ``--log-json`` configure
+the ``repro.*`` loggers (see README "Observability").
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from . import analysis
 from .experiments import ALL_EXPERIMENTS, run_experiment
 from .motion.script import script_for_letter, script_for_motion, script_for_word
 from .motion.strokes import Motion, StrokeKind, all_motions
+from .obs import configure as configure_logging
+from .obs import get_logger, get_metrics, get_tracer
 from .sim.runner import SessionRunner
 from .sim.scenario import ScenarioConfig, build_scenario
 
@@ -119,6 +126,21 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Header keys that pin a capture to its deployment; a session replayed
+#: against a calibration capture whose values differ was recorded on a
+#: *different* simulated rig, and the calibrated thresholds are suspect.
+_SCENARIO_META_KEYS = ("seed", "mount", "location", "tx_power_dbm")
+
+
+def _scenario_metadata(args: argparse.Namespace) -> dict:
+    return {
+        "seed": args.seed,
+        "mount": args.mount,
+        "location": args.location,
+        "tx_power_dbm": args.power,
+    }
+
+
 def cmd_record(args: argparse.Namespace) -> int:
     from .rfid.capture import dump_log
 
@@ -132,10 +154,13 @@ def cmd_record(args: argparse.Namespace) -> int:
         label = kind.name
     log = runner.run_script(script)
     # The calibration capture travels with the session: a replayed capture
-    # must be interpretable without re-simulating the deployment.
+    # must be interpretable without re-simulating the deployment.  Both
+    # headers carry the scenario identity so replay can detect mismatches.
+    scenario_meta = _scenario_metadata(args)
     static_path = args.path + ".calibration"
-    dump_log(runner.static_log, static_path, metadata={"kind": "static"})
-    count = dump_log(log, args.path, metadata={"label": label, "seed": args.seed})
+    dump_log(runner.static_log, static_path,
+             metadata={"kind": "static", **scenario_meta})
+    count = dump_log(log, args.path, metadata={"label": label, **scenario_meta})
     print(f"recorded {count} reads to {args.path} "
           f"(+ calibration capture {static_path})")
     return 0
@@ -146,10 +171,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
     from .physics.geometry import GridLayout
     from .rfid.capture import load_log, load_metadata
 
+    logger = get_logger("cli.replay")
     log = load_log(args.path)
     meta = load_metadata(args.path)
+    static_path = args.path + ".calibration"
+    static_meta = load_metadata(static_path)
+    for key in _SCENARIO_META_KEYS:
+        session_value, static_value = meta.get(key), static_meta.get(key)
+        if session_value != static_value:
+            logger.warning(
+                "capture %s: scenario %s mismatch between session (%r) and "
+                "calibration capture (%r); calibrated thresholds may not fit "
+                "this recording",
+                args.path, key, session_value, static_value,
+            )
     pad = RFIPad(GridLayout(rows=args.rows, cols=args.cols))
-    pad.calibrate_from(load_log(args.path + ".calibration"))
+    pad.calibrate_from(load_log(static_path))
     print(f"replaying {args.path}: {len(log)} reads, metadata {meta}")
     result = pad.recognize_letter(log)
     if result.letter is not None or len(result.strokes) > 1:
@@ -157,6 +194,29 @@ def cmd_replay(args: argparse.Namespace) -> int:
     else:
         obs = pad.detect_motion(log)
         print(f"motion: {obs.label if obs else '(nothing)'}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Run a standard battery with full observability and print summaries."""
+    tracer = get_tracer()
+    metrics = get_metrics()
+    tracer.enable()
+    metrics.enable()
+    repeats = 1 if args.fast else args.repeats
+    runner = _make_runner(args)  # calibration collect() is traced too
+    for motion in all_motions():
+        for _ in range(repeats):
+            runner.run_motion(motion)
+    # One letter session exercises the letter path: multi-stroke
+    # segmentation plus the tree-grammar composition stage.
+    runner.run_letter("T")
+
+    print("== span tree (count / total / mean / p95 per path) ==")
+    print(tracer.render_tree())
+    print()
+    print("== metrics ==")
+    print(metrics.render())
     return 0
 
 
@@ -169,6 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mount", choices=("nlos", "los"), default="nlos")
     parser.add_argument("--location", type=int, choices=(1, 2, 3, 4), default=2)
     parser.add_argument("--power", type=float, default=30.0, help="TX power, dBm")
+    parser.add_argument(
+        "--trace-out", default="",
+        help="record all spans of this invocation to a JSONL file",
+    )
+    parser.add_argument(
+        "--log-level", default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="repro.* logger level (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit log records as JSON lines instead of plain text",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("experiments", help="list experiment ids")
@@ -204,11 +277,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("path")
     p_replay.add_argument("--rows", type=int, default=5)
     p_replay.add_argument("--cols", type=int, default=5)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="run a standard motion+letter battery with tracing and metrics "
+             "enabled, then print the aggregated span tree and metric summaries",
+    )
+    p_stats.add_argument("--fast", action="store_true",
+                         help="single repeat per motion (smoke-test mode)")
+    p_stats.add_argument("--repeats", type=int, default=3,
+                         help="repeats per motion when not --fast (default 3)")
     return parser
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "experiments":
         return cmd_experiments(args)
     if args.command == "run":
@@ -226,7 +308,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_record(args)
     if args.command == "replay":
         return cmd_replay(args)
+    if args.command == "stats":
+        return cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json=args.log_json)
+    if args.trace_out:
+        # Fail fast: the export runs after the command, and a long run that
+        # ends in an unwritable path would silently lose the whole trace.
+        try:
+            with open(args.trace_out, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"repro: error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        get_tracer().enable()
+    try:
+        return _dispatch(args)
+    finally:
+        if args.trace_out:
+            count = get_tracer().export_jsonl(args.trace_out)
+            print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -15,11 +15,11 @@ calibration capture.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
-from ..motion.strokes import Direction, StrokeKind
+from ..obs.trace import Tracer, get_tracer
 from ..physics.geometry import GridLayout
 from ..rfid.reports import ReportLog
 from .calibration import StaticCalibration, calibrate
@@ -108,45 +108,65 @@ class RFIPad:
         disturbance (empty OTSU foreground).
         """
         cal = self._require_calibration()
-        supp = accumulative_differences(
-            log, cal, t0, t1, bias_weighting=self.config.bias_weighting
-        )
-        values = supp.suppressed if self.config.diversity_suppression else supp.raw
-        grey = render_grey_map(values, self.layout)
-        binary = binarize(grey)
-        # Troughs are detected over *all* calibrated tags, not just OTSU
-        # foreground: with very short strokes OTSU can keep only the single
-        # deepest cell, and restricting would then drop the real troughs
-        # that trace the rest of the pass.
-        troughs = detect_troughs(log, cal, t0, t1, self.config.direction)
-        path = trough_path(troughs, self.layout, self.config.direction)
-        win_lo = t0 if t0 is not None else (log.start_time if len(log) else 0.0)
-        win_hi = t1 if t1 is not None else (log.end_time if len(log) else 0.0)
-        decision = classify_shape(
-            grey, binary, self.config.classifier, path, window_s=max(0.0, win_hi - win_lo)
-        )
-        if decision is None:
-            return None
+        tracer = get_tracer()
+        with tracer.span("analyze_window"):
+            # Stage spans mirror the paper's stage order (DESIGN.md §obs):
+            # suppression/unwrap = Eq. 8-10, imaging + otsu = grey map and
+            # binarisation, direction = RSS trough ordering (III-B),
+            # classify = shape decision.
+            with tracer.span("suppression") as sp:
+                supp = accumulative_differences(
+                    log, cal, t0, t1, bias_weighting=self.config.bias_weighting
+                )
+                sp.set(tags=len(supp.suppressed),
+                       reads=sum(supp.read_counts.values()))
+            values = supp.suppressed if self.config.diversity_suppression else supp.raw
+            with tracer.span("imaging"):
+                grey = render_grey_map(values, self.layout)
+            with tracer.span("otsu") as sp:
+                binary = binarize(grey)
+                sp.set(foreground=binary.foreground_count())
+            # Troughs are detected over *all* calibrated tags, not just OTSU
+            # foreground: with very short strokes OTSU can keep only the single
+            # deepest cell, and restricting would then drop the real troughs
+            # that trace the rest of the pass.  The `direction` span covers
+            # trough detection + path ordering — the stage's dominant cost;
+            # the final FORWARD/REVERSE vote below is a handful of flops on
+            # <= rows*cols troughs and rides inside the enclosing span.
+            with tracer.span("direction") as sp:
+                troughs = detect_troughs(log, cal, t0, t1, self.config.direction)
+                path = trough_path(troughs, self.layout, self.config.direction)
+                sp.set(troughs=len(troughs))
+            win_lo = t0 if t0 is not None else (log.start_time if len(log) else 0.0)
+            win_hi = t1 if t1 is not None else (log.end_time if len(log) else 0.0)
+            with tracer.span("classify") as sp:
+                decision = classify_shape(
+                    grey, binary, self.config.classifier, path,
+                    window_s=max(0.0, win_hi - win_lo),
+                )
+                sp.set(kind=decision.kind.name if decision is not None else None)
+            if decision is None:
+                return None
 
-        direction, dir_confidence = estimate_direction(
-            decision.kind, troughs, self.layout, decision.opening, self.config.direction
-        )
+            direction, dir_confidence = estimate_direction(
+                decision.kind, troughs, self.layout, decision.opening, self.config.direction
+            )
 
-        win_t0, win_t1 = win_lo, win_hi
-        return StrokeObservation(
-            kind=decision.kind,
-            direction=direction,
-            token=decision.token,
-            t0=win_t0,
-            t1=win_t1,
-            confidence=min(decision.confidence, 0.5 + 0.5 * dir_confidence),
-            opening=decision.opening,
-            features=decision.features,
-            grey=grey,
-            binary=binary,
-            trough_order=passage_order(troughs),
-            line_angle_deg=decision.line_angle_deg,
-        )
+            win_t0, win_t1 = win_lo, win_hi
+            return StrokeObservation(
+                kind=decision.kind,
+                direction=direction,
+                token=decision.token,
+                t0=win_t0,
+                t1=win_t1,
+                confidence=min(decision.confidence, 0.5 + 0.5 * dir_confidence),
+                opening=decision.opening,
+                features=decision.features,
+                grey=grey,
+                binary=binary,
+                trough_order=passage_order(troughs),
+                line_angle_deg=decision.line_angle_deg,
+            )
 
     def detect_motion(self, log: ReportLog) -> Optional[StrokeObservation]:
         """One-shot motion detection for a single-motion session.
@@ -156,11 +176,18 @@ class RFIPad:
         segmenter finds nothing (e.g. very gentle motions).
         """
         cal = self._require_calibration()
-        windows = segment_strokes(log, cal, self.config.segmentation)
-        if windows:
-            widest = max(windows, key=lambda w: w.duration)
-            return self.analyze_window(log, widest.t0, widest.t1)
-        return self.analyze_window(log)
+        tracer = get_tracer()
+        with tracer.span("detect_motion", reads=len(log)) as root:
+            with tracer.span("segmentation") as sp:
+                windows = segment_strokes(log, cal, self.config.segmentation)
+                sp.set(windows=len(windows))
+            if windows:
+                widest = max(windows, key=lambda w: w.duration)
+                obs = self.analyze_window(log, widest.t0, widest.t1)
+            else:
+                obs = self.analyze_window(log)
+            root.set(kind=obs.kind.name if obs is not None else None)
+            return obs
 
     # ------------------------------------------------------------------
     # Letter recognition
@@ -168,17 +195,26 @@ class RFIPad:
 
     def segment(self, log: ReportLog) -> List[SegmentedWindow]:
         cal = self._require_calibration()
-        return segment_strokes(log, cal, self.config.segmentation)
+        with get_tracer().span("segmentation") as sp:
+            windows = segment_strokes(log, cal, self.config.segmentation)
+            sp.set(windows=len(windows))
+            return windows
 
     def recognize_letter(self, log: ReportLog) -> LetterResult:
         """Full letter pipeline: segment, classify each stroke, compose."""
-        windows = self.segment(log)
-        strokes: List[StrokeObservation] = []
-        for w in windows:
-            obs = self.analyze_window(log, w.t0, w.t1)
-            if obs is not None:
-                strokes.append(obs)
-        return self.grammar.recognize(strokes, windows)
+        tracer = get_tracer()
+        with tracer.span("recognize_letter", reads=len(log)) as root:
+            windows = self.segment(log)
+            strokes: List[StrokeObservation] = []
+            for w in windows:
+                obs = self.analyze_window(log, w.t0, w.t1)
+                if obs is not None:
+                    strokes.append(obs)
+            with tracer.span("grammar") as sp:
+                result = self.grammar.recognize(strokes, windows)
+                sp.set(strokes=len(strokes), letter=result.letter)
+            root.set(letter=result.letter)
+            return result
 
     # ------------------------------------------------------------------
     # Latency instrumentation (Fig. 24)
@@ -187,12 +223,21 @@ class RFIPad:
     def timed_detect_motion(
         self, log: ReportLog
     ) -> Tuple[Optional[StrokeObservation], float]:
-        """Detect a motion and report the wall-clock compute latency.
+        """Deprecated shim: detect a motion and report the compute latency.
 
-        The paper's response time is "between when a volunteer finishes one
-        motion and when the motion is correctly reported" — with the report
-        stream already buffered, that is the pipeline compute time.
+        Superseded by tracer spans (``repro.obs.trace``): enable the global
+        tracer and read the ``detect_motion`` span, which also carries the
+        per-stage breakdown.  Kept as a thin wrapper for older callers; the
+        latency is measured through a private always-on tracer so it keeps
+        working with global observability off.
         """
-        start = time.perf_counter()
-        result = self.detect_motion(log)
-        return result, time.perf_counter() - start
+        warnings.warn(
+            "timed_detect_motion is deprecated; enable repro.obs.trace.get_tracer() "
+            "and read the 'detect_motion' span instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        shim = Tracer(enabled=True)
+        with shim.span("timed_detect_motion"):
+            result = self.detect_motion(log)
+        return result, shim.finished[-1].duration

@@ -26,9 +26,10 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs.trace import get_tracer
 from ..rfid.reports import ReportLog
 from .calibration import StaticCalibration
-from .unwrap import total_variation, unwrap
+from .unwrap import total_variation
 
 
 @dataclass(frozen=True)
@@ -81,8 +82,20 @@ def accumulative_differences(
     suppressed: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     weights = calibration.weights()
+    per_tag = window.per_tag()
 
-    for idx, series in window.per_tag().items():
+    # Eq. 8 pass: calibrate + de-periodicise every tag's phase series.  A
+    # separate pass so the tracer sees the unwrap stage as its own span
+    # (nested under the pipeline's `suppression` span).
+    with get_tracer().span("unwrap") as sp:
+        residuals: Dict[int, np.ndarray] = {
+            idx: calibration.residual_series(idx, series.phases)
+            for idx, series in per_tag.items()
+            if idx in calibration.tags and len(series) >= 2
+        }
+        sp.set(tags=len(residuals))
+
+    for idx, series in per_tag.items():
         if idx not in calibration.tags:
             continue  # a stray tag outside the calibrated pad
         counts[idx] = len(series)
@@ -98,8 +111,7 @@ def accumulative_differences(
         # tag-diversity artefact that de-periodicity + calibration remove.
         raw[idx] = total_variation(series.phases)
 
-        residual = calibration.residual_series(idx, series.phases)
-        tv = total_variation(residual)
+        tv = total_variation(residuals[idx])
         if per_sample:
             tv /= max(1, len(series) - 1)
         suppressed[idx] = tv / weights[idx] if bias_weighting else tv

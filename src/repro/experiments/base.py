@@ -8,8 +8,12 @@ workloads are available by passing ``fast=False``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
+
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 
 
 @dataclass
@@ -30,12 +34,13 @@ class ExperimentResult:
     notes: List[str] = field(default_factory=list)
 
     def column_names(self) -> List[str]:
-        names: List[str] = []
+        # Ordered-set pass: dict.fromkeys keeps first-seen order and makes
+        # this O(rows x keys) instead of O(rows x keys x columns) — the
+        # list-membership variant was quadratic for wide result sets.
+        names: Dict[str, None] = {}
         for row in self.rows:
-            for key in row:
-                if key not in names:
-                    names.append(key)
-        return names
+            names.update(dict.fromkeys(row))
+        return list(names)
 
     def to_text(self) -> str:
         """Human-readable rendering (used by benches and examples)."""
@@ -91,4 +96,16 @@ def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
         )
-    return REGISTRY[experiment_id](**kwargs)
+    metrics = get_metrics()
+    start = time.perf_counter()
+    with get_tracer().span("experiment", id=experiment_id):
+        result = REGISTRY[experiment_id](**kwargs)
+    result.notes.append(f"runtime {time.perf_counter() - start:.2f} s")
+    if metrics.enabled:
+        # A compact counters snapshot rides along with the artefact, so a
+        # saved result is self-describing about the work that produced it.
+        counters = metrics.snapshot()["counters"]
+        if counters:
+            rendered = ", ".join(f"{k}={v:g}" for k, v in counters.items())
+            result.notes.append(f"metrics: {rendered}")
+    return result

@@ -1,0 +1,82 @@
+"""Structured logging wiring for the ``repro`` namespace.
+
+All repro loggers hang off the ``repro`` root (``get_logger("rfid.capture")``
+-> ``repro.rfid.capture``), so one :func:`configure` call controls the whole
+library.  Two output formats:
+
+* plain — ``HH:MM:SS LEVEL repro.x.y: message`` (default);
+* JSON  — one object per line (``configure(level, json=True)``), for
+  shipping into a log pipeline.
+
+``configure`` is idempotent: calling it again replaces the handler it
+installed rather than stacking duplicates.  Propagation to the root logger
+is left on so pytest's ``caplog`` and host applications still see records.
+"""
+
+from __future__ import annotations
+
+import json as _json
+import logging
+import sys
+from typing import IO, Optional, Union
+
+__all__ = ["configure", "get_logger", "JsonFormatter"]
+
+#: Root of the library's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+#: The handler installed by the last configure() call, if any.
+_installed_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``""`` -> the root)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, msg (+ exc_info)."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return _json.dumps(payload, sort_keys=True)
+
+
+def configure(
+    level: Union[int, str] = "INFO",
+    json: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install a stderr (or ``stream``) handler on the ``repro`` logger.
+
+    Returns the configured root-of-hierarchy logger.  Re-invocation
+    replaces the previously installed handler (idempotent), so the CLI can
+    call this unconditionally.
+    """
+    global _installed_handler
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    if _installed_handler is not None:
+        logger.removeHandler(_installed_handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(levelname)s %(name)s: %(message)s",
+                              datefmt="%H:%M:%S")
+        )
+    logger.addHandler(handler)
+    if isinstance(level, str):
+        level = level.upper()
+    logger.setLevel(level)
+    _installed_handler = handler
+    return logger

@@ -1,0 +1,218 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments::
+
+    metrics = get_metrics()
+    metrics.enable()
+    metrics.inc("reader.reads", 37)
+    metrics.set_gauge("reader.read_rate_hz", 291.4)
+    metrics.observe("pipeline.detect_motion_s", 0.041)
+
+Design constraints (mirroring what a production hot path needs):
+
+* **no-op when disabled** — every mutate method starts with one attribute
+  check and returns; the registry is disabled by default;
+* **single dict lookup when enabled** — counters and gauges are plain
+  dict slots; histograms bisect a fixed bucket table;
+* **zero dependencies** — percentile summaries (p50/p95/p99) interpolate
+  inside fixed buckets, no numpy.
+
+Fixed-bucket histograms trade exactness for O(1) memory: the percentile
+error is bounded by the bucket width at the quantile, which the tests pin
+against ``numpy.percentile``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Histogram", "MetricsRegistry", "get_metrics", "default_buckets"]
+
+
+def default_buckets() -> List[float]:
+    """Geometric latency-flavoured buckets: 10 us .. ~42 s, x1.5 steps."""
+    bounds = []
+    edge = 1e-5
+    while edge < 50.0:
+        bounds.append(edge)
+        edge *= 1.5
+    return bounds
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``buckets`` is the sorted list of bucket *upper bounds*; values above
+    the last bound land in an overflow bucket.  Alongside the bucket
+    counts the exact count/sum/min/max are tracked, so means are exact and
+    only the percentiles are bucket-quantised.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = list(buckets) if buckets is not None else default_buckets()
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if sorted(bounds) != bounds:
+            raise ValueError("bucket bounds must be sorted ascending")
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (q in [0, 100]) from the buckets.
+
+        Linear interpolation inside the bucket containing the target rank;
+        the first bucket interpolates from the observed min, the overflow
+        bucket towards the observed max.  Error is bounded by the width of
+        the bucket the quantile falls in.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        if self.count == 0:
+            raise ValueError("percentile of an empty histogram")
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            lo = self.min if i == 0 else max(self.min, self.bounds[i - 1])
+            hi = self.max if i == len(self.bounds) else min(self.max, self.bounds[i])
+            if cumulative + n >= rank:
+                frac = (rank - cumulative) / n
+                return lo + (hi - lo) * max(0.0, min(1.0, frac))
+            cumulative += n
+        return self.max
+
+    def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters / gauges / histograms, no-ops until enabled."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded values (the enabled flag is left alone)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- hot-path mutators (cheap, no-op when disabled) ----------------
+
+    def inc(self, name: str, value: float = 1.0) -> None:
+        if not self._enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0.0) + value
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self._enabled:
+            return
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        hist.observe(value)
+
+    # -- declaration / reading -----------------------------------------
+
+    def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:
+        """Get or create a histogram (to pin non-default buckets)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram(buckets)
+        return hist
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def gauge_value(self, name: str) -> Optional[float]:
+        return self._gauges.get(name)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """All current values as plain dicts (JSON-friendly)."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: self._histograms[name].summary()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def render(self) -> str:
+        """Human-readable dump of every instrument (the `stats` view)."""
+        lines: List[str] = []
+        for name, value in sorted(self._counters.items()):
+            lines.append(f"counter    {name} = {value:g}")
+        for name, value in sorted(self._gauges.items()):
+            lines.append(f"gauge      {name} = {value:g}")
+        for name in sorted(self._histograms):
+            s = self._histograms[name].summary()
+            if s["count"] == 0:
+                lines.append(f"histogram  {name} (empty)")
+                continue
+            lines.append(
+                f"histogram  {name}: count={int(s['count'])} mean={s['mean']:g} "
+                f"p50={s['p50']:g} p95={s['p95']:g} p99={s['p99']:g} "
+                f"min={s['min']:g} max={s['max']:g}"
+            )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+
+#: The process-wide registry every repro subsystem writes to.
+_GLOBAL_METRICS = MetricsRegistry(enabled=False)
+
+
+def get_metrics() -> MetricsRegistry:
+    """The module-level metrics singleton (disabled until enabled)."""
+    return _GLOBAL_METRICS

@@ -1,0 +1,304 @@
+"""Zero-dependency span tracer.
+
+A :class:`Tracer` records nested wall-time spans opened with the context
+manager :meth:`Tracer.span`::
+
+    tracer = get_tracer()
+    tracer.enable()
+    with tracer.span("detect_motion", reads=412) as sp:
+        ...
+        sp.set(kind="VBAR")
+
+Spans know their *path* ("detect_motion/analyze_window/suppression"), so
+the same stage name nested under different parents aggregates separately.
+Export targets:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per completed span, keys
+  sorted, schema documented in the README ("Observability" section);
+* :meth:`Tracer.render_tree` — an aggregated text tree with
+  count / total / mean / p95 per span path, for humans.
+
+The tracer is **disabled by default**: ``span()`` then returns a shared
+null context manager (no allocation, no clock read), which is what lets
+library code stay permanently instrumented.  The module-level singleton
+returned by :func:`get_tracer` is what all of ``repro``'s instrumentation
+writes to.  Single-threaded by design, like the pipeline it measures.
+
+Intentionally depends on nothing but the standard library (not even
+numpy): percentiles are computed with sorted-list interpolation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Union
+
+__all__ = ["Span", "Tracer", "get_tracer", "percentile"]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolation percentile of a list (numpy's default method).
+
+    ``q`` is in [0, 100].  Raises ``ValueError`` on an empty list.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    data = sorted(values)
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(data) - 1)
+    frac = rank - lo
+    return data[lo] * (1.0 - frac) + data[hi] * frac
+
+
+class Span:
+    """One completed (or in-flight) trace span."""
+
+    __slots__ = ("name", "path", "depth", "start", "end", "attrs")
+
+    def __init__(self, name: str, path: str, depth: int, start: float) -> None:
+        self.name = name
+        self.path = path
+        self.depth = depth
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> None:
+        """Attach key/value attributes to the span."""
+        self.attrs.update(attrs)
+
+    @property
+    def duration(self) -> float:
+        """Wall-time in seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSONL export record for this span."""
+        return {
+            "name": self.name,
+            "path": self.path,
+            "depth": self.depth,
+            "start_s": self.start,
+            "duration_s": self.duration,
+            "attrs": self.attrs,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.path!r}, dur={self.duration:.6f}, attrs={self.attrs})"
+
+
+class _NullSpan:
+    """Shared do-nothing span: what a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> None:
+        return None
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager that opens/closes one :class:`Span` on a tracer."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._open(self._name)
+        if self._attrs:
+            self._span.attrs.update(self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        assert self._span is not None
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+
+
+class Tracer:
+    """Collects nested spans; exports JSONL and an aggregated tree.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    ``time.perf_counter``).
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self._enabled = enabled
+        self._clock = clock
+        self._stack: List[Span] = []
+        self._spans: List[Span] = []  # in start order, open spans included
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (the enabled flag is left alone)."""
+        self._stack.clear()
+        self._spans.clear()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Union[_LiveSpan, _NullSpan]:
+        """Open a span as a context manager; no-op when disabled."""
+        if not self._enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    def _open(self, name: str) -> Span:
+        parent_path = self._stack[-1].path if self._stack else ""
+        path = f"{parent_path}/{name}" if parent_path else name
+        span = Span(name, path, len(self._stack), self._clock())
+        self._stack.append(span)
+        self._spans.append(span)
+        return span
+
+    def _close(self, span: Span) -> None:
+        span.end = self._clock()
+        # Tolerate out-of-order exits (generators, exceptions): pop down to
+        # and including this span instead of asserting strict LIFO.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- reading back --------------------------------------------------
+
+    @property
+    def finished(self) -> List[Span]:
+        """Completed spans in start order."""
+        return [s for s in self._spans if s.end is not None]
+
+    def mark(self) -> int:
+        """Opaque cursor for :meth:`spans_since` (current span count)."""
+        return len(self._spans)
+
+    def spans_since(self, mark: int) -> List[Span]:
+        """Completed spans started after a :meth:`mark` call."""
+        return [s for s in self._spans[mark:] if s.end is not None]
+
+    def durations(self, name: str) -> List[float]:
+        """Durations of all completed spans with the given *name*."""
+        return [s.duration for s in self._spans if s.name == name and s.end is not None]
+
+    # -- export --------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write completed spans as JSON Lines; returns the span count.
+
+        ``target`` is a path or an open text stream.  One object per line,
+        keys sorted, so identical span structures diff cleanly.
+        """
+        spans = self.finished
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                return self._write_jsonl(fh, spans)
+        return self._write_jsonl(target, spans)
+
+    @staticmethod
+    def _write_jsonl(fh: IO[str], spans: List[Span]) -> int:
+        for span in spans:
+            fh.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-path stats over completed spans.
+
+        Returns ``{path: {count, total_s, mean_s, p95_s, max_s}}`` with
+        paths in first-start order (insertion order of the dict).
+        """
+        by_path: Dict[str, List[float]] = {}
+        for span in self._spans:
+            if span.end is None:
+                continue
+            by_path.setdefault(span.path, []).append(span.duration)
+        out: Dict[str, Dict[str, float]] = {}
+        for path, durs in by_path.items():
+            out[path] = {
+                "count": float(len(durs)),
+                "total_s": sum(durs),
+                "mean_s": sum(durs) / len(durs),
+                "p95_s": percentile(durs, 95.0),
+                "max_s": max(durs),
+            }
+        return out
+
+    def render_tree(self) -> str:
+        """Human-readable aggregated span tree.
+
+        One line per distinct span path, indented by nesting depth, with
+        count, total, mean, and p95 columns — the ``repro stats`` view.
+        """
+        agg = self.aggregate()
+        if not agg:
+            return "(no spans recorded)"
+        depth_of = {path: path.count("/") for path in agg}
+        label_w = max(2 * depth_of[p] + len(p.rsplit("/", 1)[-1]) for p in agg)
+        lines = []
+        for path, stats in agg.items():
+            name = path.rsplit("/", 1)[-1]
+            label = "  " * depth_of[path] + name
+            lines.append(
+                f"{label.ljust(label_w)}  "
+                f"count={int(stats['count']):>5d}  "
+                f"total={_fmt_s(stats['total_s']):>9s}  "
+                f"mean={_fmt_s(stats['mean_s']):>9s}  "
+                f"p95={_fmt_s(stats['p95_s']):>9s}"
+            )
+        return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    """Adaptive duration formatting: us / ms / s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds:.3f}s"
+
+
+#: The process-wide tracer every repro subsystem writes to.
+_GLOBAL_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The module-level tracer singleton (disabled until enabled)."""
+    return _GLOBAL_TRACER

@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..physics.antenna import ReaderAntenna
 from ..physics.channel import ChannelModel, Scatterer
 from ..physics.hand import HandPose, occlusion_loss_db
@@ -199,15 +201,51 @@ class Reader:
             self.rng, start_time=start_time, profile=self.config.link_profile
         )
         out = log if log is not None else ReportLog()
+        n_before = len(out)
 
         def readable_at(t: float) -> Sequence[int]:
             return self.readable_indices(pose_at(t))
 
-        for slot in inventory.run_until(start_time + duration, readable_at):
-            if slot.kind == "success" and slot.winner is not None:
-                out.append(self.observe_tag(slot.winner, slot.time, pose_at(slot.time)))
+        with get_tracer().span("reader.collect", duration_s=duration) as sp:
+            for slot in inventory.run_until(start_time + duration, readable_at):
+                if slot.kind == "success" and slot.winner is not None:
+                    out.append(self.observe_tag(slot.winner, slot.time, pose_at(slot.time)))
+            stats = inventory.stats
+            sp.set(
+                reads=stats.successes,
+                collisions=stats.collisions,
+                idles=stats.idles,
+                read_rate_hz=round(stats.read_rate, 1),
+            )
         self.last_inventory_stats = inventory.stats
+        self._record_metrics(inventory.stats, out, n_before)
         return out
+
+    def _record_metrics(self, stats, out: ReportLog, n_before: int) -> None:
+        """Fold one collect() window into the global metrics registry.
+
+        Runs entirely *after* the inventory loop so the hot path carries no
+        per-slot cost; with the registry disabled (the default) this is a
+        single flag check.
+        """
+        metrics = get_metrics()
+        if not metrics.enabled:
+            return
+        metrics.inc("reader.reads", stats.successes)
+        metrics.inc("reader.collision_slots", stats.collisions)
+        metrics.inc("reader.idle_slots", stats.idles)
+        metrics.inc("reader.windows")
+        metrics.set_gauge("reader.read_rate_hz", stats.read_rate)
+        metrics.observe("reader.slot_efficiency", stats.efficiency)
+        per_tag: Dict[int, int] = {}
+        for i in range(n_before, len(out)):
+            report = out[i]
+            per_tag[report.tag_index] = per_tag.get(report.tag_index, 0) + 1
+        for count in per_tag.values():
+            metrics.observe("reader.reads_per_tag_window", float(count))
+        # Tags the MAC never delivered this window (unreadable / shadowed):
+        # the paper's "unreadable tags" observable (IV-B.1).
+        metrics.inc("reader.unread_tags", len(self.array.tags) - len(per_tag))
 
     def collect_static(self, duration: float, start_time: float = 0.0) -> ReportLog:
         """Inventory with no hand in the scene (calibration captures)."""

@@ -18,6 +18,8 @@ from ..motion.letters import LETTER_STROKES
 from ..motion.script import WritingScript, script_for_letter, script_for_motion
 from ..motion.strokes import Motion
 from ..motion.user import DEFAULT_USER, UserProfile
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
 from ..rfid.reader import Reader
 from ..rfid.reports import ReportLog
 from .scenario import Scenario, ScenarioConfig, build_scenario
@@ -100,10 +102,23 @@ class SessionRunner:
         user: UserProfile = DEFAULT_USER,
         speed: Optional[float] = None,
     ) -> MotionTrial:
-        script = script_for_motion(motion, self.rng, user=user, speed=speed)
-        log = self.run_script(script)
-        observed = self.pad.detect_motion(log)
-        return MotionTrial(truth=motion, observed=observed, log_size=len(log))
+        with get_tracer().span("trial.motion", truth=motion.label) as sp:
+            script = script_for_motion(motion, self.rng, user=user, speed=speed)
+            log = self.run_script(script)
+            observed = self.pad.detect_motion(log)
+            trial = MotionTrial(truth=motion, observed=observed, log_size=len(log))
+            sp.set(
+                observed=observed.label if observed is not None else None,
+                correct=trial.fully_correct,
+                reads=len(log),
+            )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("runner.motion_trials")
+            metrics.inc("runner.motion_detected", float(trial.detected))
+            metrics.inc("runner.motion_shape_correct", float(trial.shape_correct))
+            metrics.inc("runner.motion_correct", float(trial.fully_correct))
+        return trial
 
     def run_motion_battery(
         self,
@@ -120,17 +135,24 @@ class SessionRunner:
     def run_letter(
         self, letter: str, user: UserProfile = DEFAULT_USER
     ) -> LetterTrial:
-        script = script_for_letter(letter, self.rng, user=user)
-        log = self.run_script(script)
-        result = self.pad.recognize_letter(log)
-        return LetterTrial(
-            truth=letter.upper(),
-            result=result,
-            true_stroke_intervals=script.stroke_intervals(),
-            true_stroke_tokens=tuple(
-                s.shape_token for s in LETTER_STROKES[letter.upper()]
-            ),
-        )
+        with get_tracer().span("trial.letter", truth=letter.upper()) as sp:
+            script = script_for_letter(letter, self.rng, user=user)
+            log = self.run_script(script)
+            result = self.pad.recognize_letter(log)
+            trial = LetterTrial(
+                truth=letter.upper(),
+                result=result,
+                true_stroke_intervals=script.stroke_intervals(),
+                true_stroke_tokens=tuple(
+                    s.shape_token for s in LETTER_STROKES[letter.upper()]
+                ),
+            )
+            sp.set(observed=result.letter, correct=trial.correct, reads=len(log))
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("runner.letter_trials")
+            metrics.inc("runner.letter_correct", float(trial.correct))
+        return trial
 
     def run_letter_battery(
         self, letters: Sequence[str], repeats: int, user: UserProfile = DEFAULT_USER

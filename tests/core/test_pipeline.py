@@ -63,9 +63,12 @@ def test_recognize_letter_end_to_end(shared_runner):
 
 
 def test_timed_detect_motion_reports_latency(shared_runner):
+    # Deprecated shim (superseded by repro.obs tracer spans) — must keep
+    # working for old callers, with a DeprecationWarning.
     script = script_for_motion(Motion(StrokeKind.SLASH), shared_runner.rng)
     log = shared_runner.run_script(script)
-    obs, latency = shared_runner.pad.timed_detect_motion(log)
+    with pytest.warns(DeprecationWarning):
+        obs, latency = shared_runner.pad.timed_detect_motion(log)
     assert obs is not None
     assert 0.0 < latency < 2.0
 

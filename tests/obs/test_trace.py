@@ -1,0 +1,201 @@
+"""Tracer unit tests: nesting, determinism of export, aggregation."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.trace import Span, Tracer, get_tracer, percentile
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by a fixed step."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _run_workload(tracer: Tracer) -> None:
+    with tracer.span("detect", reads=10):
+        with tracer.span("suppression"):
+            with tracer.span("unwrap") as sp:
+                sp.set(tags=25)
+        with tracer.span("otsu"):
+            pass
+    with tracer.span("detect"):
+        pass
+
+
+class TestNesting:
+    def test_paths_follow_nesting(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        paths = [s.path for s in tracer.finished]  # start order
+        assert paths == [
+            "detect",
+            "detect/suppression",
+            "detect/suppression/unwrap",
+            "detect/otsu",
+            "detect",
+        ]
+
+    def test_depths_follow_nesting(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        by_path = {s.path: s.depth for s in tracer.finished}
+        assert by_path["detect"] == 0
+        assert by_path["detect/suppression"] == 1
+        assert by_path["detect/suppression/unwrap"] == 2
+
+    def test_attrs_recorded_from_kwargs_and_set(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        spans = {s.path: s for s in tracer.finished if s.name != "detect"}
+        root = [s for s in tracer.finished if s.path == "detect"][0]
+        assert root.attrs == {"reads": 10}
+        assert spans["detect/suppression/unwrap"].attrs == {"tags": 25}
+
+    def test_exception_closes_span_and_marks_error(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (span,) = tracer.finished
+        assert span.end is not None
+        assert span.attrs["error"] == "ValueError"
+
+    def test_sibling_after_exception_keeps_depth(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("root"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("a"):
+                    raise RuntimeError
+            with tracer.span("b"):
+                pass
+        by_name = {s.name: s for s in tracer.finished}
+        assert by_name["b"].path == "root/b"
+
+
+class TestDisabled:
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        _run_workload(tracer)
+        assert tracer.finished == []
+
+    def test_disabled_span_is_shared_null(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("x") is tracer.span("y")
+
+    def test_null_span_supports_protocol(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x") as sp:
+            sp.set(anything=1)
+        assert sp.duration == 0.0
+
+    def test_global_tracer_disabled_by_default(self):
+        assert isinstance(get_tracer(), Tracer)
+
+
+class TestExport:
+    def test_jsonl_is_valid_and_one_span_per_line(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        buf = io.StringIO()
+        count = tracer.export_jsonl(buf)
+        lines = buf.getvalue().strip().splitlines()
+        assert count == len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert set(record) == {
+                "name", "path", "depth", "start_s", "duration_s", "attrs"
+            }
+
+    def test_export_is_deterministic(self):
+        outputs = []
+        for _ in range(2):
+            tracer = Tracer(enabled=True, clock=FakeClock())
+            _run_workload(tracer)
+            buf = io.StringIO()
+            tracer.export_jsonl(buf)
+            outputs.append(buf.getvalue())
+        assert outputs[0] == outputs[1]
+
+    def test_export_to_path(self, tmp_path):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        path = tmp_path / "trace.jsonl"
+        assert tracer.export_jsonl(str(path)) == 5
+        assert len(path.read_text().strip().splitlines()) == 5
+
+    def test_open_spans_not_exported(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        cm = tracer.span("open")
+        cm.__enter__()
+        buf = io.StringIO()
+        assert tracer.export_jsonl(buf) == 0
+
+
+class TestAggregate:
+    def test_counts_and_totals(self):
+        tracer = Tracer(enabled=True, clock=FakeClock(step=1.0))
+        _run_workload(tracer)
+        agg = tracer.aggregate()
+        assert agg["detect"]["count"] == 2
+        assert agg["detect/suppression/unwrap"]["count"] == 1
+
+    def test_render_tree_lists_every_path(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        tree = tracer.render_tree()
+        for name in ("detect", "suppression", "unwrap", "otsu"):
+            assert name in tree
+        assert "count=" in tree and "p95=" in tree
+
+    def test_render_tree_empty(self):
+        assert "no spans" in Tracer(enabled=True).render_tree()
+
+    def test_mark_and_spans_since(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        with tracer.span("before"):
+            pass
+        mark = tracer.mark()
+        with tracer.span("after"):
+            pass
+        assert [s.name for s in tracer.spans_since(mark)] == ["after"]
+
+    def test_reset_clears_spans_keeps_enabled(self):
+        tracer = Tracer(enabled=True, clock=FakeClock())
+        _run_workload(tracer)
+        tracer.reset()
+        assert tracer.finished == []
+        assert tracer.enabled
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self, rng):
+        values = list(rng.uniform(0.0, 10.0, size=501))
+        for q in (0.0, 25.0, 50.0, 95.0, 99.0, 100.0):
+            assert percentile(values, q) == pytest.approx(
+                float(np.percentile(values, q)), abs=1e-9
+            )
+
+    def test_single_value(self):
+        assert percentile([3.5], 95.0) == 3.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+
+def test_span_duration_zero_while_open():
+    span = Span("x", "x", 0, 1.0)
+    assert span.duration == 0.0
+    span.end = 3.0
+    assert span.duration == 2.0

@@ -1,7 +1,11 @@
+import json
+import logging
+
 import pytest
 
 from repro.cli import build_parser, main
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs import get_metrics, get_tracer
 
 
 def test_experiments_listing(capsys):
@@ -51,3 +55,88 @@ def test_parser_defaults():
     args = build_parser().parse_args(["experiments"])
     assert args.seed == 7
     assert args.location == 2
+    assert args.trace_out == ""
+    assert args.log_level == "warning"
+
+
+@pytest.fixture()
+def clean_observability():
+    """stats/--trace-out mutate the global tracer+metrics; restore them."""
+    tracer, metrics = get_tracer(), get_metrics()
+    yield
+    tracer.reset()
+    tracer.disable()
+    metrics.reset()
+    metrics.disable()
+
+
+ALL_STAGE_SPANS = (
+    "unwrap", "suppression", "imaging", "otsu",
+    "classify", "direction", "segmentation", "grammar",
+)
+
+
+def test_stats_fast_prints_span_tree_and_metrics(capsys, clean_observability):
+    assert main(["--seed", "3", "stats", "--fast"]) == 0
+    out = capsys.readouterr().out
+    for stage in ALL_STAGE_SPANS:
+        assert stage in out, f"stage {stage} missing from stats output"
+    assert "count=" in out and "p95=" in out
+    assert "runner.motion_trials" in out
+    assert "reader.reads" in out
+
+
+def test_trace_out_writes_valid_jsonl(tmp_path, capsys, clean_observability):
+    trace_path = tmp_path / "trace.jsonl"
+    assert main(["--seed", "3", "--trace-out", str(trace_path),
+                 "demo", "letter", "I"]) == 0
+    lines = trace_path.read_text().strip().splitlines()
+    assert lines, "trace file is empty"
+    names = set()
+    for line in lines:
+        record = json.loads(line)
+        assert {"name", "path", "depth", "start_s", "duration_s", "attrs"} <= set(record)
+        names.add(record["name"])
+    assert "recognize_letter" in names
+    assert "grammar" in names
+
+
+def test_record_headers_carry_scenario_metadata(tmp_path):
+    from repro.rfid.capture import load_metadata
+
+    path = str(tmp_path / "cap.jsonl")
+    assert main(["--seed", "3", "record", path, "--stroke", "hbar"]) == 0
+    meta = load_metadata(path)
+    static_meta = load_metadata(path + ".calibration")
+    for m in (meta, static_meta):
+        assert m["seed"] == 3
+        assert m["mount"] == "nlos"
+        assert m["location"] == 2
+        assert m["tx_power_dbm"] == 30.0
+
+
+def test_replay_matched_capture_does_not_warn(tmp_path, caplog):
+    path = str(tmp_path / "cap.jsonl")
+    assert main(["--seed", "3", "record", path, "--stroke", "hbar"]) == 0
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        assert main(["--seed", "3", "replay", path]) == 0
+    assert not [r for r in caplog.records if "mismatch" in r.getMessage()]
+
+
+def test_replay_warns_on_scenario_mismatch(tmp_path, caplog):
+    path = str(tmp_path / "cap.jsonl")
+    assert main(["--seed", "3", "record", path, "--stroke", "hbar"]) == 0
+    # Tamper the calibration header: same reads, different claimed scenario.
+    calib = path + ".calibration"
+    with open(calib, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    header = json.loads(lines[0])
+    header["seed"] = 99
+    header["mount"] = "los"
+    with open(calib, "w", encoding="utf-8") as fh:
+        fh.write("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        assert main(["--seed", "3", "replay", path]) == 0
+    warnings = [r.getMessage() for r in caplog.records if "mismatch" in r.getMessage()]
+    assert any("seed" in w for w in warnings)
+    assert any("mount" in w for w in warnings)

@@ -43,6 +43,16 @@ class TestExperimentResult:
         text = _result(rows=[]).to_text()
         assert text.startswith("==")
 
+    def test_column_names_thousand_rows(self):
+        # Regression: column_names used a list-membership scan per key,
+        # O(rows x keys x columns); the ordered-set pass must keep the
+        # exact first-seen order on wide/tall result sets.
+        rows = [{"a": i, "b": i} for i in range(500)]
+        rows += [{"b": i, "c": i, "d": i} for i in range(500)]
+        rows.append({"e": 1, "a": 2})
+        result = _result(rows=rows)
+        assert result.column_names() == ["a", "b", "c", "d", "e"]
+
 
 class TestRegistry:
     def test_register_and_run(self):
