@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Hot-path performance benchmark: times the standard motion+letter battery
+# on the vectorized engine vs the scalar reference path and appends a
+# trajectory entry to BENCH_pipeline.json (wall times, speedup, reads/sec,
+# trials/sec, per-stage p95 from the tracer).
+#
+#   sh scripts/bench.sh            # full measurement (best-of-3 rounds)
+#   REPRO_BENCH_SMOKE=1 sh scripts/bench.sh   # tiny smoke workload
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+export PYTHONPATH
+
+python -m pytest benchmarks/test_perf_hotpath.py -q -s "$@"
+
+echo
+echo "== BENCH_pipeline.json (latest entry) =="
+python - <<'EOF'
+import json
+with open("BENCH_pipeline.json", encoding="utf-8") as fh:
+    doc = json.load(fh)
+entry = doc["entries"][-1]
+for key in ("timestamp", "commit", "engine_wall_s", "scalar_wall_s",
+            "speedup_engine_vs_scalar", "speedup_vs_pre_pr_baseline",
+            "reads_per_s", "trials_per_s"):
+    print(f"  {key}: {entry.get(key)}")
+EOF

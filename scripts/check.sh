@@ -28,6 +28,9 @@ done
 rm -f /tmp/repro-stats-smoke.$$
 echo "ok"
 
+echo "== hot-path benchmark (smoke mode) =="
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_perf_hotpath.py -q
+
 echo "== ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src tests

@@ -56,7 +56,9 @@ def cmd_run(args: argparse.Namespace) -> int:
     ids = args.ids if args.ids else ALL_EXPERIMENTS
     failures = 0
     for eid in ids:
-        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        result = run_experiment(
+            eid, workers=args.workers, fast=not args.full, seed=args.seed
+        )
         print(result.to_text())
         print()
         if result.expectation_met is False:
@@ -249,6 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run", help="run experiments and print artefacts")
     p_run.add_argument("ids", nargs="*", help="experiment ids (default: all)")
     p_run.add_argument("--full", action="store_true", help="paper-scale repeats")
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan trial batteries out to N worker processes "
+        "(default: serial, or REPRO_WORKERS)",
+    )
 
     p_demo = sub.add_parser("demo", help="interactive-style demos")
     demo_sub = p_demo.add_subparsers(dest="demo", required=True)

@@ -29,7 +29,7 @@ from ..rfid.reports import ReportLog
 from .calibration import StaticCalibration
 from .events import SegmentedWindow
 from .otsu import otsu_threshold
-from .unwrap import fold_to_pi
+from .unwrap import fold_to_pi_many
 
 
 @dataclass(frozen=True)
@@ -80,16 +80,18 @@ def frame_rms(
         if idx not in calibration.tags:
             continue
         centre = calibration.central_phase(idx)
-        residuals = np.array([fold_to_pi(p - centre) for p in series.phases])
+        residuals = fold_to_pi_many(series.phases - centre)
         frames = np.minimum(
             ((series.timestamps - t_start) / frame_s).astype(int), n_frames - 1
         )
-        for f in range(n_frames):
-            mask = frames == f
-            n = int(mask.sum())
-            if n == 0:
-                continue
-            sums[f] += math.sqrt(float((residuals[mask] ** 2).mean()))
+        # Per-frame RMS via bincount: reads arrive in timestamp order, so
+        # bincount accumulates each frame's squares in the same order as the
+        # masked-mean it replaces (bit-identical for per-frame read counts
+        # below numpy's pairwise-summation block size).
+        counts = np.bincount(frames, minlength=n_frames)
+        squares = np.bincount(frames, weights=residuals * residuals, minlength=n_frames)
+        hit = counts > 0
+        sums[hit] += np.sqrt(squares[hit] / counts[hit])
 
     times = t_start + frame_s * np.arange(n_frames)
     return times, sums
@@ -104,7 +106,11 @@ def window_std(rms: np.ndarray, window_frames: int) -> np.ndarray:
     """
     n = rms.size
     out = np.zeros(n)
-    for i in range(n):
+    full = n - window_frames + 1
+    if full > 0:
+        windows = np.lib.stride_tricks.sliding_window_view(rms, window_frames)
+        out[:full] = windows.std(axis=1)
+    for i in range(max(0, full), n):
         chunk = rms[i : i + window_frames]
         out[i] = float(chunk.std()) if chunk.size >= 2 else 0.0
     return out

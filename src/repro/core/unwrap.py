@@ -28,6 +28,16 @@ def fold_to_pi(delta: float) -> float:
     return folded - math.pi
 
 
+def fold_to_pi_many(deltas: "np.ndarray") -> np.ndarray:
+    """Vectorized :func:`fold_to_pi` (bit-identical fold convention).
+
+    ``np.fmod`` is the same C ``fmod`` as ``math.fmod``, so each element
+    matches the scalar function exactly.
+    """
+    folded = np.fmod(np.asarray(deltas, dtype=float) + math.pi, TWO_PI)
+    return np.where(folded <= 0.0, folded + TWO_PI, folded) - math.pi
+
+
 def unwrap(phases: Sequence[float]) -> np.ndarray:
     """Unwrap a wrapped phase sequence into a continuous trend.
 

@@ -91,15 +91,28 @@ def register(experiment_id: str):
     return wrap
 
 
-def run_experiment(experiment_id: str, **kwargs: Any) -> ExperimentResult:
+def run_experiment(
+    experiment_id: str, workers: Optional[int] = None, **kwargs: Any
+) -> ExperimentResult:
+    """Run one registered experiment.
+
+    ``workers`` (default None = leave the process-wide setting alone)
+    makes every battery inside the experiment fan out to that many worker
+    processes — see :mod:`repro.sim.parallel` for the determinism
+    contract.  The ``REPRO_WORKERS`` environment variable sets the same
+    knob globally.
+    """
     if experiment_id not in REGISTRY:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; available: {sorted(REGISTRY)}"
         )
+    from ..sim.parallel import workers_override
+
     metrics = get_metrics()
     start = time.perf_counter()
     with get_tracer().span("experiment", id=experiment_id):
-        result = REGISTRY[experiment_id](**kwargs)
+        with workers_override(workers):
+            result = REGISTRY[experiment_id](**kwargs)
     result.notes.append(f"runtime {time.perf_counter() - start:.2f} s")
     if metrics.enabled:
         # A compact counters snapshot rides along with the artefact, so a

@@ -48,11 +48,19 @@ class Segment:
             raise ValueError(f"segment ends before it starts: {self.t0}..{self.t1}")
 
 
-def _interpolate(samples: Sequence[TimedPoint], t: float) -> Vec3:
-    """Linear interpolation of a timed sample sequence (clamped at ends)."""
+def _interpolate(
+    samples: Sequence[TimedPoint], t: float, times: Optional[Sequence[float]] = None
+) -> Vec3:
+    """Linear interpolation of a timed sample sequence (clamped at ends).
+
+    ``times`` optionally supplies the precomputed ``[s.t for s in samples]``
+    key list — the pose clock calls this thousands of times per session on
+    the same sample sequences.
+    """
     if not samples:
         raise ValueError("cannot interpolate an empty sample sequence")
-    times = [s.t for s in samples]
+    if times is None:
+        times = [s.t for s in samples]
     i = bisect.bisect_right(times, t)
     if i <= 0:
         return samples[0].position
@@ -83,6 +91,8 @@ class WritingScript:
         for a, b in zip(self.segments, self.segments[1:]):
             if b.t0 < a.t1 - 1e-9:
                 raise ValueError("segments overlap")
+        # Per-segment interpolation keys, filled lazily by hand_pose_at.
+        self._seg_times: dict = {}
 
     @property
     def t_start(self) -> float:
@@ -108,15 +118,18 @@ class WritingScript:
 
     def hand_pose_at(self, t: float) -> Optional[HandPose]:
         """The scene callback for :meth:`repro.rfid.Reader.collect`."""
-        for seg in self.segments:
+        for idx, seg in enumerate(self.segments):
             if seg.t0 <= t <= seg.t1:
                 if seg.kind == "absent":
                     return None
                 samples = seg.trace.samples if seg.trace is not None else seg.path
                 if not samples:
                     return None
+                times = self._seg_times.get(idx)
+                if times is None:
+                    times = self._seg_times[idx] = [s.t for s in samples]
                 return HandPose(
-                    position=_interpolate(samples, t),
+                    position=_interpolate(samples, t, times),
                     arm_length=self.user.arm_length / 2.0,
                 )
         return None

@@ -20,7 +20,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..units import db_to_linear, linear_to_db
-from .geometry import Vec3, angle_between
+from .geometry import Vec3
 
 
 @dataclass(frozen=True)
@@ -46,15 +46,21 @@ class ReaderAntenna:
     gain_dbi: float = 8.0
     front_to_back_db: float = 25.0
     _unit_boresight: Vec3 = field(init=False, repr=False, compare=False)
+    _pattern_n: float = field(init=False, repr=False, compare=False)
+    _gain_linear: float = field(init=False, repr=False, compare=False)
+    _back_lobe: float = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.boresight.norm() == 0.0:
             raise ValueError("boresight must be a non-zero direction")
         object.__setattr__(self, "_unit_boresight", self.boresight.normalized())
+        object.__setattr__(self, "_gain_linear", db_to_linear(self.gain_dbi))
+        object.__setattr__(self, "_back_lobe", db_to_linear(-self.front_to_back_db))
+        object.__setattr__(self, "_pattern_n", self._solve_pattern_exponent())
 
     @property
     def gain_linear(self) -> float:
-        return db_to_linear(self.gain_dbi)
+        return self._gain_linear
 
     def beam_angle(self) -> float:
         """Full beam angle in radians, Eq. 14: sqrt(4*pi/G)."""
@@ -63,12 +69,7 @@ class ReaderAntenna:
     def beam_angle_degrees(self) -> float:
         return math.degrees(self.beam_angle())
 
-    def _pattern_exponent(self) -> float:
-        """Exponent n of the cos^n power pattern.
-
-        Solved from ``cos(theta_3dB)^n = 1/2`` with ``theta_3dB`` the
-        half-beam angle from Eq. 14.
-        """
+    def _solve_pattern_exponent(self) -> float:
         half = self.beam_angle() / 2.0
         # Guard: for near-isotropic gains the half-angle can exceed 90 deg;
         # fall back to an isotropic pattern (n = 0).
@@ -76,25 +77,63 @@ class ReaderAntenna:
             return 0.0
         return math.log(0.5) / math.log(math.cos(half))
 
+    def _pattern_exponent(self) -> float:
+        """Exponent n of the cos^n power pattern, solved once at construction
+        from ``cos(theta_3dB)^n = 1/2`` with ``theta_3dB`` the half-beam
+        angle from Eq. 14.
+        """
+        return self._pattern_n
+
     def gain_towards(self, target: Vec3) -> float:
         """Linear gain in the direction of ``target``.
 
         Back-hemisphere directions are attenuated by ``front_to_back_db``.
         The target coinciding with the antenna position is an error — the
         link geometry upstream should never produce it.
+
+        Hot path: called once per scatterer per tag read, so the cos^n
+        pattern is evaluated directly from the direction cosine (no
+        acos/cos round trip) with all dB conversions precomputed.
         """
-        direction = target - self.position
-        if direction.norm() == 0.0:
+        dx = target.x - self.position.x
+        dy = target.y - self.position.y
+        dz = target.z - self.position.z
+        d2 = dx * dx + dy * dy + dz * dz
+        if d2 == 0.0:
             raise ValueError("target coincides with the antenna phase centre")
-        theta = angle_between(self._unit_boresight, direction)
-        n = self._pattern_exponent()
-        if theta <= math.pi / 2.0:
-            pattern = math.cos(theta) ** n if n > 0.0 else 1.0
+        b = self._unit_boresight
+        cos_t = (dx * b.x + dy * b.y + dz * b.z) / math.sqrt(d2)
+        cos_t = max(-1.0, min(1.0, cos_t))
+        if cos_t >= 0.0:
+            pattern = cos_t ** self._pattern_n if self._pattern_n > 0.0 else 1.0
         else:
-            pattern = db_to_linear(-self.front_to_back_db)
+            pattern = self._back_lobe
         # Floor the pattern so deep nulls stay numerically sane.
-        pattern = max(pattern, db_to_linear(-self.front_to_back_db))
-        return self.gain_linear * pattern
+        pattern = max(pattern, self._back_lobe)
+        return self._gain_linear * pattern
+
+    def gain_towards_many(self, targets: "object") -> "object":
+        """Vectorized :meth:`gain_towards` over an ``(N, 3)`` float array.
+
+        Uses the identical direction-cosine formula, so results agree with
+        the scalar method to floating-point noise.  Imported lazily so the
+        scalar physics layer stays numpy-free for cold-start users.
+        """
+        import numpy as np
+
+        diff = np.asarray(targets, dtype=float) - np.array(self.position.as_tuple())
+        dist = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        if np.any(dist == 0.0):
+            raise ValueError("target coincides with the antenna phase centre")
+        b = self._unit_boresight
+        cos_t = (diff[:, 0] * b.x + diff[:, 1] * b.y + diff[:, 2] * b.z) / dist
+        cos_t = np.clip(cos_t, -1.0, 1.0)
+        if self._pattern_n > 0.0:
+            front = np.where(cos_t >= 0.0, np.maximum(cos_t, 0.0) ** self._pattern_n, 0.0)
+        else:
+            front = np.where(cos_t >= 0.0, 1.0, 0.0)
+        pattern = np.maximum(np.where(cos_t >= 0.0, front, self._back_lobe), self._back_lobe)
+        return self._gain_linear * pattern
 
     def gain_towards_dbi(self, target: Vec3) -> float:
         return linear_to_db(self.gain_towards(target))

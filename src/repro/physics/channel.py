@@ -61,6 +61,41 @@ class Scatterer:
     detune_vertical_scale: float = 0.045
 
 
+def shadow_attenuation_db(tag_position: Vec3, scatterers: Iterable[Scatterer]) -> float:
+    """Total near-field blockage (dB) the scatterers impose on one tag.
+
+    A hand hovering directly over a tag detunes and shields the tag
+    antenna; this is the mechanism behind the paper's distinct RSS
+    trough (section III-B).  Gaussian decay laterally and vertically.
+    """
+    total = 0.0
+    for sc in scatterers:
+        if sc.shadow_depth_db <= 0.0:
+            continue
+        lateral = math.hypot(sc.position.x - tag_position.x, sc.position.y - tag_position.y)
+        vertical = abs(sc.position.z - tag_position.z)
+        total += sc.shadow_depth_db * math.exp(
+            -0.5 * (lateral / sc.shadow_lateral_scale) ** 2
+            - 0.5 * (vertical / sc.shadow_vertical_scale) ** 2
+        )
+    return total
+
+
+def detuning_phase_rad(tag_position: Vec3, scatterers: Iterable[Scatterer]) -> float:
+    """Total near-field resonance phase shift the scatterers impose."""
+    total = 0.0
+    for sc in scatterers:
+        if sc.detune_rad == 0.0:
+            continue
+        lateral = math.hypot(sc.position.x - tag_position.x, sc.position.y - tag_position.y)
+        vertical = abs(sc.position.z - tag_position.z)
+        total += sc.detune_rad * math.exp(
+            -0.5 * (lateral / sc.detune_lateral_scale) ** 2
+            - 0.5 * (vertical / sc.detune_vertical_scale) ** 2
+        )
+    return total
+
+
 @dataclass(frozen=True)
 class RayPath:
     """One resolved propagation path (for introspection and tests)."""
@@ -186,37 +221,12 @@ class ChannelModel:
     # ------------------------------------------------------------------
 
     def shadow_attenuation_db(self, tag_position: Vec3, scatterers: Iterable[Scatterer]) -> float:
-        """Total near-field blockage (dB) the scatterers impose on this tag.
-
-        A hand hovering directly over a tag detunes and shields the tag
-        antenna; this is the mechanism behind the paper's distinct RSS
-        trough (section III-B).  Gaussian decay laterally and vertically.
-        """
-        total = 0.0
-        for sc in scatterers:
-            if sc.shadow_depth_db <= 0.0:
-                continue
-            lateral = math.hypot(sc.position.x - tag_position.x, sc.position.y - tag_position.y)
-            vertical = abs(sc.position.z - tag_position.z)
-            total += sc.shadow_depth_db * math.exp(
-                -0.5 * (lateral / sc.shadow_lateral_scale) ** 2
-                - 0.5 * (vertical / sc.shadow_vertical_scale) ** 2
-            )
-        return total
+        """Total near-field blockage (dB) the scatterers impose on this tag."""
+        return shadow_attenuation_db(tag_position, scatterers)
 
     def detuning_phase_rad(self, tag_position: Vec3, scatterers: Iterable[Scatterer]) -> float:
         """Total near-field resonance phase shift the scatterers impose."""
-        total = 0.0
-        for sc in scatterers:
-            if sc.detune_rad == 0.0:
-                continue
-            lateral = math.hypot(sc.position.x - tag_position.x, sc.position.y - tag_position.y)
-            vertical = abs(sc.position.z - tag_position.z)
-            total += sc.detune_rad * math.exp(
-                -0.5 * (lateral / sc.detune_lateral_scale) ** 2
-                - 0.5 * (vertical / sc.detune_vertical_scale) ** 2
-            )
-        return total
+        return detuning_phase_rad(tag_position, scatterers)
 
     def one_way(
         self,

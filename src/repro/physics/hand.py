@@ -20,6 +20,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
+import numpy as np
+
 from .channel import Scatterer
 from .geometry import Vec3
 
@@ -64,10 +66,13 @@ class HandPose:
         if n < 1:
             return []
         direction = self.arm_direction.normalized()
-        return [
-            self.position + direction * (self.arm_length * (i + 1) / n)
-            for i in range(n)
-        ]
+        # Inlined position + direction * k (same per-component op order as
+        # the Vec3 operators): this runs once per channel evaluation.
+        px, py, pz = self.position.x, self.position.y, self.position.z
+        ux, uy, uz = direction.x, direction.y, direction.z
+        length = self.arm_length
+        ks = [length * (i + 1) / n for i in range(n)]
+        return [Vec3(px + ux * k, py + uy * k, pz + uz * k) for k in ks]
 
     def scatterers(self, include_arm: bool = True) -> List[Scatterer]:
         """Channel scatterers for this pose.
@@ -120,6 +125,38 @@ def occlusion_loss_db(
     for body_point in [pose.position] + pose.arm_points():
         clearance = point_to_segment_distance(body_point, antenna_position, tag_position)
         total += depth_db * math.exp(-0.5 * (clearance / fresnel_radius) ** 2)
+    return total
+
+
+def occlusion_loss_db_batch(
+    antenna_position: Vec3,
+    tag_positions: "np.ndarray",
+    pose: "HandPose | None",
+    fresnel_radius: float = 0.10,
+    depth_db: float = 8.0,
+) -> "np.ndarray":
+    """Vectorized :func:`occlusion_loss_db` over an ``(N, 3)`` tag array.
+
+    Matches the scalar function to floating-point noise (cross-checked in
+    ``tests/physics/test_channel_vec.py``); used by the reader's batched
+    readability evaluation.
+    """
+    n = tag_positions.shape[0]
+    if pose is None:
+        return np.zeros(n)
+    a = np.array(antenna_position.as_tuple())
+    ab = tag_positions - a                       # (N, 3) antenna -> tag
+    denom = np.einsum("ij,ij->i", ab, ab)        # |ab|^2 per tag
+    total = np.zeros(n)
+    for body_point in [pose.position] + pose.arm_points():
+        p = np.array(body_point.as_tuple())
+        t = np.divide(
+            (p - a) @ ab.T, denom, out=np.zeros(n), where=denom != 0.0
+        )
+        t = np.clip(t, 0.0, 1.0)
+        closest = a + t[:, None] * ab
+        clearance = np.linalg.norm(p - closest, axis=1)
+        total += depth_db * np.exp(-0.5 * (clearance / fresnel_radius) ** 2)
     return total
 
 

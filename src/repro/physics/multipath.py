@@ -21,6 +21,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -61,6 +62,62 @@ class Environment:
     name: str
     reflectors: Tuple[PlanarReflector, ...] = ()
 
+    @cached_property
+    def _flutter_plan(
+        self,
+    ) -> "tuple[np.ndarray, tuple[tuple[complex, float, float, int], ...]]":
+        """Precomputed flutter constants: draw scales + per-reflector terms.
+
+        ``scales`` holds the normal-draw standard deviations — a (magnitude,
+        phase) pair per *fluttering* reflector, in reflector order.  The info
+        tuple carries each reflector's coefficient, its polar decomposition,
+        and its index into the draw vector (-1 when it never flutters).
+        cached_property stores into ``__dict__``, bypassing the frozen guard;
+        all inputs are frozen fields.
+        """
+        scales: List[float] = []
+        info: List[Tuple[complex, float, float, int]] = []
+        for r in self.reflectors:
+            if r.flutter > 0.0:
+                info.append(
+                    (r.coefficient, abs(r.coefficient), cmath.phase(r.coefficient), len(scales))
+                )
+                scales.append(r.flutter)
+                scales.append(r.flutter * math.pi)
+            else:
+                info.append((r.coefficient, 0.0, 0.0, -1))
+        return np.array(scales), tuple(info)
+
+    def sample_gammas(
+        self, rng: "np.random.Generator | None" = None
+    ) -> List[complex]:
+        """Per-reflector coefficients, flutter-perturbed when ``rng`` is given.
+
+        One draw pair (magnitude, phase) per fluttering reflector, in
+        reflector order — the reader's per-read flutter resampling and
+        :meth:`image_antennas` share this exact RNG consumption order, so
+        hoisting the image positions out of the per-read path cannot change
+        the random stream.  The pairs are drawn as one batched ``normal``
+        call, which numpy fills with the same values (bit-identical) as the
+        equivalent sequence of scalar draws.
+        """
+        scales, info = self._flutter_plan
+        if rng is None or scales.size == 0:
+            return [r.coefficient for r in self.reflectors]
+        # standard_normal * scale draws the same (bit-identical) values as
+        # normal(0, scales) while skipping its per-call array validation.
+        draws = rng.standard_normal(scales.size) * scales
+        gammas: List[complex] = []
+        for coefficient, mag0, ph0, idx in info:
+            if idx < 0:
+                gammas.append(coefficient)
+            else:
+                # Perturb magnitude and phase independently.
+                mag = mag0 * max(0.0, 1.0 + float(draws[idx]))
+                ph = ph0 + float(draws[idx + 1])
+                gammas.append(mag * cmath.exp(1j * ph))
+        return gammas
+
     def image_antennas(
         self, antenna_position: Vec3, rng: "np.random.Generator | None" = None
     ) -> List[Tuple[Vec3, complex]]:
@@ -69,16 +126,11 @@ class Environment:
         When ``rng`` is given, each coefficient is perturbed by the
         reflector's flutter — call once per read to model clutter motion.
         """
-        images: List[Tuple[Vec3, complex]] = []
-        for r in self.reflectors:
-            gamma = r.coefficient
-            if rng is not None and r.flutter > 0.0:
-                # Perturb magnitude and phase independently.
-                mag = abs(gamma) * max(0.0, 1.0 + rng.normal(0.0, r.flutter))
-                ph = cmath.phase(gamma) + rng.normal(0.0, r.flutter * math.pi)
-                gamma = mag * cmath.exp(1j * ph)
-            images.append((r.image_of(antenna_position), gamma))
-        return images
+        gammas = self.sample_gammas(rng)
+        return [
+            (r.image_of(antenna_position), gamma)
+            for r, gamma in zip(self.reflectors, gammas)
+        ]
 
     @property
     def richness(self) -> float:

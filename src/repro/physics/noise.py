@@ -19,6 +19,7 @@ from __future__ import annotations
 import cmath
 import math
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -58,9 +59,16 @@ class ReceiverNoise:
     agc_rss_slope_db_per_db: float = 0.035
     base_rss_jitter_db: float = 0.15
 
-    @property
+    # cached_property writes straight into __dict__, which bypasses the
+    # frozen-dataclass setattr guard — safe here because both values are
+    # pure functions of frozen fields.
+    @cached_property
     def noise_floor_w(self) -> float:
         return dbm_to_watts(self.noise_floor_dbm)
+
+    @cached_property
+    def _iq_sigma(self) -> float:
+        return math.sqrt(self.noise_floor_w / 2.0)
 
     def snr_linear(self, signal_power_w: float) -> float:
         if signal_power_w <= 0.0:
@@ -76,8 +84,10 @@ class ReceiverNoise:
         [0, 2*pi).  The input carries the channel plus circuit phase; this
         function only adds receiver impairments.
         """
-        sigma = math.sqrt(self.noise_floor_w / 2.0)
-        noisy = baseband + complex(rng.normal(0.0, sigma), rng.normal(0.0, sigma))
+        # One batched draw for I and Q: numpy fills the pair with the same
+        # (bit-identical) values as two sequential scalar draws.
+        iq = rng.normal(0.0, self._iq_sigma, size=2)
+        noisy = baseband + complex(iq[0], iq[1])
         power_w = abs(noisy) ** 2
         rss_dbm = watts_to_dbm_floor(power_w)
 

@@ -210,6 +210,12 @@ class Gen2Inventory:
         self._clock = start_time
         self.profile = profile if profile is not None else PROFILE_DENSE
         self.stats = InventoryStats()
+        # Slot durations are pure functions of the (frozen) profile; resolve
+        # them once instead of re-deriving the timing tree every slot.
+        self._idle_s = self.profile.idle_slot_s
+        self._success_s = self.profile.success_slot_s
+        self._collision_s = self.profile.collision_slot_s
+        self._round_overhead_s = self.profile.round_overhead_s
 
     @property
     def clock(self) -> float:
@@ -219,16 +225,23 @@ class Gen2Inventory:
     def current_q(self) -> int:
         return self._qalg.q
 
-    def run_round(self, readable: Sequence[int]) -> Iterator[SlotOutcome]:
+    def run_round(
+        self, readable: Sequence[int], successes_only: bool = False
+    ) -> Iterator[SlotOutcome]:
         """Run one inventory round over the currently-readable tag indices.
 
         Gen2 semantics: each readable tag draws a slot in [0, 2^Q - 1]; the
         reader steps through all slots.  Tags singulated in this round stay
         quiet for its remainder (session flag), so each tag is read at most
         once per round.
+
+        ``successes_only`` suppresses the idle/collision outcome objects
+        (clock, stats, and Q adaptation still advance identically) — the
+        reader's collect loop only consumes successes, and most slots in a
+        tuned round are not.
         """
-        self._clock += self.profile.round_overhead_s
-        self.stats.elapsed += self.profile.round_overhead_s
+        self._clock += self._round_overhead_s
+        self.stats.elapsed += self._round_overhead_s
         q = self._qalg.q
         n_slots = 2**q
         if not readable:
@@ -241,31 +254,37 @@ class Gen2Inventory:
         for tag_idx, slot in zip(readable, draws):
             slot_map.setdefault(int(slot), []).append(tag_idx)
 
+        stats = self.stats
+        qalg = self._qalg
+        q_min, q_max = qalg.q_min, qalg.q_max
+        idle_w, coll_w = qalg.idle_weight, qalg.collision_weight
         for slot in range(n_slots):
-            contenders = slot_map.get(slot, [])
-            if len(contenders) == 0:
-                outcome = SlotOutcome(self._clock, self.profile.idle_slot_s, "idle", None)
-                self._qalg.on_idle()
-                self.stats.idles += 1
+            start = self._clock
+            contenders = slot_map.get(slot)
+            if contenders is None:
+                duration, kind, winner = self._idle_s, "idle", None
+                # Inlined QAlgorithm.on_idle / on_collision: the adaptation
+                # runs once per slot, and the method-call overhead shows up
+                # in the battery profile.
+                qalg.qfp = max(q_min, qalg.qfp - idle_w)
+                stats.idles += 1
             elif len(contenders) == 1:
-                outcome = SlotOutcome(
-                    self._clock, self.profile.success_slot_s, "success", contenders[0]
-                )
-                self.stats.successes += 1
+                duration, kind, winner = self._success_s, "success", contenders[0]
+                stats.successes += 1
             else:
-                outcome = SlotOutcome(
-                    self._clock, self.profile.collision_slot_s, "collision", None
-                )
-                self._qalg.on_collision()
-                self.stats.collisions += 1
-            self._clock += outcome.duration
-            self.stats.elapsed += outcome.duration
-            yield outcome
+                duration, kind, winner = self._collision_s, "collision", None
+                qalg.qfp = min(q_max, qalg.qfp + coll_w)
+                stats.collisions += 1
+            self._clock = start + duration
+            stats.elapsed += duration
+            if not successes_only or kind == "success":
+                yield SlotOutcome(start, duration, kind, winner)
 
     def run_until(
         self,
         end_time: float,
         readable_at: "callable[[float], Sequence[int]]",
+        successes_only: bool = False,
     ) -> Iterator[SlotOutcome]:
         """Run rounds back-to-back until the clock passes ``end_time``.
 
@@ -278,7 +297,7 @@ class Gen2Inventory:
             return
         while self._clock < end_time:
             readable = readable_at(self._clock)
-            yield from self.run_round(readable)
+            yield from self.run_round(readable, successes_only=successes_only)
 
 
 def expected_round_efficiency(n_tags: int, q: int) -> float:

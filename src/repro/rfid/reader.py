@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import cmath
 import math
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -23,8 +24,9 @@ import numpy as np
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..physics.antenna import ReaderAntenna
-from ..physics.channel import ChannelModel, Scatterer
-from ..physics.hand import HandPose, occlusion_loss_db
+from ..physics.channel import ChannelModel, Scatterer, detuning_phase_rad
+from ..physics.channel_vec import ChannelEngine
+from ..physics.hand import HandPose, occlusion_loss_db, occlusion_loss_db_batch
 from ..physics.multipath import Environment, free_space
 from ..physics.noise import ReceiverNoise, doppler_estimate_hz
 from ..units import (
@@ -72,7 +74,15 @@ class ReaderConfig:
 
 
 class Reader:
-    """A single-antenna reader bound to one tag array and one environment."""
+    """A single-antenna reader bound to one tag array and one environment.
+
+    ``use_engine`` selects the vectorized :class:`ChannelEngine` hot path
+    (the default).  ``False`` — or the ``REPRO_SCALAR_CHANNEL=1``
+    environment variable when ``use_engine`` is left as ``None`` — runs the
+    original per-tag scalar path, kept as the reference implementation;
+    both produce bit-identical report streams for the same seed (enforced
+    by ``tests/rfid/test_determinism.py``).
+    """
 
     def __init__(
         self,
@@ -82,6 +92,7 @@ class Reader:
         environment: Optional[Environment] = None,
         noise: ReceiverNoise = ReceiverNoise(),
         rng: Optional[np.random.Generator] = None,
+        use_engine: Optional[bool] = None,
     ) -> None:
         self.antenna = antenna
         self.array = array
@@ -89,11 +100,38 @@ class Reader:
         self.environment = environment if environment is not None else free_space()
         self.noise = noise
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Static multipath geometry: image positions never move while the
+        # deployment stands, only their coefficients flutter between reads.
+        self._nominal_images = self.environment.image_antennas(antenna.position)
         # Nominal (flutter-free) channel for readability checks.
         self._nominal_channel = ChannelModel(
             antenna,
             config.wavelength,
-            self.environment.image_antennas(antenna.position),
+            self._nominal_images,
+        )
+        if use_engine is None:
+            use_engine = os.environ.get("REPRO_SCALAR_CHANNEL", "0") != "1"
+        self._engine: Optional[ChannelEngine] = None
+        if use_engine:
+            with get_tracer().span("channel.batch", stage="precompute", tags=len(array.tags)):
+                self._engine = ChannelEngine(
+                    antenna,
+                    config.wavelength,
+                    [tag.position for tag in array.tags],
+                    [tag.gain_linear for tag in array.tags],
+                    self._nominal_images,
+                )
+        self._static_loss_db = np.array([tag.static_shadow_db for tag in array.tags])
+        self._static_powers: Optional[np.ndarray] = None
+        self._sens_key: Optional[Tuple[float, ...]] = None
+        self._sens_w: Optional[np.ndarray] = None
+        # Direct + nominal-reflector terms under the static per-tag losses:
+        # constant for every readability check that adds no occlusion, so
+        # the per-round batch touches only the scatterer/shadow terms.
+        self._static_base: Optional[np.ndarray] = (
+            self._engine.static_base(self._static_loss_db)
+            if self._engine is not None
+            else None
         )
         self._one_way_loss = math.sqrt(db_to_linear(-config.system_loss_db))
         self._last_read: Dict[int, Tuple[float, float]] = {}  # tag -> (t, phase)
@@ -126,35 +164,90 @@ class Reader:
         return self.config.tx_power_w * abs(g * self._one_way_loss) ** 2
 
     def readable_indices(self, pose: Optional[HandPose]) -> List[int]:
-        """Tags whose ICs power up under the current scene."""
-        return [
-            i
-            for i, tag in enumerate(self.array.tags)
-            if tag.is_powered(self.incident_power_w(i, pose))
-        ]
+        """Tags whose ICs power up under the current scene.
+
+        With the engine enabled this is **one** batched power evaluation
+        over the whole array instead of N independent scalar ray sums; the
+        hand-free scene (calibration, idle gaps) is fully static, so its
+        incident powers are computed once and cached.  IC sensitivities are
+        always read live — deployments (and the failure-injection tests)
+        may kill tags after the reader is built.
+        """
+        if self._engine is None:
+            return [
+                i
+                for i, tag in enumerate(self.array.tags)
+                if tag.is_powered(self.incident_power_w(i, pose))
+            ]
+        if pose is None and self._static_powers is not None:
+            powers = self._static_powers
+        else:
+            with get_tracer().span("channel.batch", tags=len(self.array.tags)):
+                if self.config.los_occlusion and pose is not None:
+                    loss_db = self._static_loss_db + occlusion_loss_db_batch(
+                        self.antenna.position, self._engine.tag_positions_np, pose
+                    )
+                    g = self._engine.one_way_batch(self._scatterers(pose), loss_db)
+                else:
+                    g = self._engine.one_way_batch(
+                        self._scatterers(pose), base=self._static_base
+                    )
+            powers = self.config.tx_power_w * np.abs(g * self._one_way_loss) ** 2
+            if pose is None:
+                self._static_powers = powers
+        return np.nonzero(powers >= self._sensitivity_w())[0].tolist()
+
+    def _sensitivity_w(self) -> np.ndarray:
+        """Per-tag IC wake-up thresholds (watts), revalidated on every call.
+
+        The dBm fields are the mutable source of truth; the watts array is
+        re-derived only when one of them changes (tag death injection).
+        """
+        key = tuple(tag.ic_sensitivity_dbm for tag in self.array.tags)
+        if key != self._sens_key:
+            self._sens_key = key
+            self._sens_w = np.array([tag.ic_sensitivity_w for tag in self.array.tags])
+        return self._sens_w
 
     def observe_tag(self, tag_index: int, t: float, pose: Optional[HandPose]) -> TagReadReport:
         """Evaluate the channel and produce the LLRP-style report for one read."""
         tag = self.array.tags[tag_index]
-        # Per-read environment flutter: clutter moves between reads.
-        channel = ChannelModel(
-            self.antenna,
-            self.config.wavelength,
-            self.environment.image_antennas(self.antenna.position, self.rng),
-        )
-        s = channel.roundtrip(
-            self.config.tx_power_w,
-            tag.position,
-            tag.gain_linear,
-            tag.modulation_efficiency,
-            self._scatterers(pose),
-            self._direct_loss_db(tag_index, pose),
-        )
+        scatterers = self._scatterers(pose)
+        loss_db = self._direct_loss_db(tag_index, pose)
+        if self._engine is not None:
+            # Per-read environment flutter: only the reflection coefficients
+            # change between reads, so resample them against the cached
+            # image geometry (same RNG draws as Environment.image_antennas).
+            gammas = self.environment.sample_gammas(self.rng)
+            s = self._engine.roundtrip_single(
+                tag_index,
+                self.config.tx_power_w,
+                tag.modulation_efficiency,
+                scatterers,
+                loss_db,
+                gammas,
+            )
+            detune = detuning_phase_rad(tag.position, scatterers)
+        else:
+            # Scalar reference path: rebuild the fluttered channel per read.
+            channel = ChannelModel(
+                self.antenna,
+                self.config.wavelength,
+                self.environment.image_antennas(self.antenna.position, self.rng),
+            )
+            s = channel.roundtrip(
+                self.config.tx_power_w,
+                tag.position,
+                tag.gain_linear,
+                tag.modulation_efficiency,
+                scatterers,
+                loss_db,
+            )
+            detune = channel.detuning_phase_rad(tag.position, scatterers)
         s *= self._one_way_loss**2
         # Circuit phase offsets: reader TX+RX chain plus the tag's
         # reflection characteristic (Eq. 6-7 of the paper), plus the
         # near-field resonance detuning a hovering hand imposes on the tag.
-        detune = channel.detuning_phase_rad(tag.position, self._scatterers(pose))
         s *= cmath.exp(-1j * (self.config.theta_reader + tag.theta_tag + detune))
 
         rss_dbm, phase = self.noise.observe(s, self.rng)
@@ -207,8 +300,10 @@ class Reader:
             return self.readable_indices(pose_at(t))
 
         with get_tracer().span("reader.collect", duration_s=duration) as sp:
-            for slot in inventory.run_until(start_time + duration, readable_at):
-                if slot.kind == "success" and slot.winner is not None:
+            for slot in inventory.run_until(
+                start_time + duration, readable_at, successes_only=True
+            ):
+                if slot.winner is not None:
                     out.append(self.observe_tag(slot.winner, slot.time, pose_at(slot.time)))
             stats = inventory.stats
             sp.set(
@@ -246,6 +341,18 @@ class Reader:
         # Tags the MAC never delivered this window (unreadable / shadowed):
         # the paper's "unreadable tags" observable (IV-B.1).
         metrics.inc("reader.unread_tags", len(self.array.tags) - len(per_tag))
+        if self._engine is not None:
+            for name, value in self._engine.drain_counters().items():
+                metrics.inc(f"channel.{name}", value)
+
+    def reset_read_history(self) -> None:
+        """Forget per-tag last-read state (Doppler baselines).
+
+        The parallel battery runner calls this between independent trials
+        so a trial's first Doppler estimate never leaks in from whichever
+        trial the worker ran before it.
+        """
+        self._last_read.clear()
 
     def collect_static(self, duration: float, start_time: float = 0.0) -> ReportLog:
         """Inventory with no hand in the scene (calibration captures)."""

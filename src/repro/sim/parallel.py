@@ -1,0 +1,162 @@
+"""Process-pool battery runner: fan trials out across worker processes.
+
+The paper-scale evaluation repeats hundreds of independent sessions per
+deployment; each trial only shares the (read-only) deployment with its
+siblings, so the battery is embarrassingly parallel.  The one thing a
+naive fan-out breaks is determinism: the serial battery threads a single
+RNG through every trial, so trial N's draws depend on trials 0..N-1.
+
+The parallel path therefore gives every trial its *own* deterministic
+stream, derived from the scenario seed and the trial's position in the
+battery (``SeedSequence(entropy=seed, spawn_key=(trial_index,))``).  The
+assignment of trials to workers — and the worker count itself — cannot
+change any draw, so ``workers=1`` and ``workers=8`` produce bit-identical
+batteries.  Results are collected with ``Executor.map``, which preserves
+submission order.
+
+Parallel batteries are **off by default** (``workers=0`` means the legacy
+serial shared-RNG loop, byte-for-byte compatible with the pre-parallel
+code).  Opt in per call (``workers=N``), per process (``REPRO_WORKERS``),
+or per experiment run (:func:`workers_override`, wired to the CLI's
+``--workers`` flag).
+
+Caveats: each worker pays one deployment build + static calibration at
+startup, and tracer spans / metrics recorded inside workers stay in the
+worker process (the observability registries are per-process).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..motion.strokes import Motion
+    from ..motion.user import UserProfile
+    from .runner import LetterTrial, MotionTrial, SessionRunner
+
+#: Environment knob: default worker count when no explicit value is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Per-process override installed by :func:`workers_override` (CLI --workers).
+_override: Optional[int] = None
+
+
+def resolve_workers(explicit: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit > override > env > 0 (serial)."""
+    if explicit is not None:
+        return int(explicit)
+    if _override is not None:
+        return _override
+    env = os.environ.get(WORKERS_ENV, "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            raise ValueError(f"{WORKERS_ENV} must be an integer, got {env!r}")
+    return 0
+
+
+@contextmanager
+def workers_override(workers: Optional[int]) -> Iterator[None]:
+    """Temporarily set the process-wide default worker count (None = no-op)."""
+    global _override
+    if workers is None:
+        yield
+        return
+    prev = _override
+    _override = int(workers)
+    try:
+        yield
+    finally:
+        _override = prev
+
+
+def trial_rng(seed: int, trial_index: int) -> np.random.Generator:
+    """The independent RNG stream for trial ``trial_index`` of a battery.
+
+    Derived with ``SeedSequence`` spawn keys, so streams are statistically
+    independent across trials and deterministic in (seed, index) alone —
+    a trial's draws do not depend on the worker that runs it, on the
+    worker count, or on any other trial.
+    """
+    ss = np.random.SeedSequence(entropy=seed % 2**63, spawn_key=(trial_index,))
+    return np.random.default_rng(ss)
+
+
+# ----------------------------------------------------------------------
+# Worker-side machinery.  Each worker builds its deployment once (module
+# global), then every task reseeds it with the trial's own stream.
+
+_worker_runner: "SessionRunner | None" = None
+
+
+def _init_worker(scenario_config, pipeline_config, calibration_duration) -> None:
+    global _worker_runner
+    from .runner import SessionRunner
+    from .scenario import build_scenario
+
+    _worker_runner = SessionRunner(
+        build_scenario(scenario_config),
+        pipeline_config=pipeline_config,
+        calibration_duration=calibration_duration,
+    )
+
+
+def _motion_task(task: "Tuple[int, Motion, UserProfile, Optional[float]]"):
+    index, motion, user, speed = task
+    runner = _worker_runner
+    runner.reseed(trial_rng(runner.scenario.config.seed, index))
+    return runner.run_motion(motion, user=user, speed=speed)
+
+
+def _letter_task(task: "Tuple[int, str, UserProfile]"):
+    index, letter, user = task
+    runner = _worker_runner
+    runner.reseed(trial_rng(runner.scenario.config.seed, index))
+    return runner.run_letter(letter, user=user)
+
+
+def _run_pool(runner: "SessionRunner", workers: int, task_fn, tasks: list) -> list:
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(
+            runner.scenario.config,
+            runner._pipeline_config,
+            runner._calibration_duration,
+        ),
+    ) as pool:
+        # Executor.map yields results in submission order regardless of
+        # which worker finishes first — the merge is deterministic.
+        return list(pool.map(task_fn, tasks))
+
+
+def run_motion_battery_parallel(
+    runner: "SessionRunner",
+    motions: "Sequence[Motion]",
+    repeats: int,
+    user: "UserProfile",
+    workers: int,
+) -> "List[MotionTrial]":
+    """Run a motion battery on a process pool (see module docstring)."""
+    ordered = [m for m in motions for _ in range(repeats)]
+    tasks = [(i, m, user, None) for i, m in enumerate(ordered)]
+    return _run_pool(runner, workers, _motion_task, tasks)
+
+
+def run_letter_battery_parallel(
+    runner: "SessionRunner",
+    letters: Sequence[str],
+    repeats: int,
+    user: "UserProfile",
+    workers: int,
+) -> "List[LetterTrial]":
+    """Run a letter battery on a process pool (see module docstring)."""
+    ordered = [letter for letter in letters for _ in range(repeats)]
+    tasks = [(i, letter, user) for i, letter in enumerate(ordered)]
+    return _run_pool(runner, workers, _letter_task, tasks)

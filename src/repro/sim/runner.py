@@ -82,6 +82,10 @@ class SessionRunner:
         self.scenario = scenario if scenario is not None else build_scenario()
         self.reader: Reader = self.scenario.make_reader()
         self.pad = RFIPad(self.scenario.layout, config=pipeline_config)
+        # Kept so parallel batteries can rebuild an equivalent runner in
+        # each worker process (see repro.sim.parallel).
+        self._pipeline_config = pipeline_config
+        self._calibration_duration = calibration_duration
         static = self.reader.collect_static(calibration_duration)
         self.pad.calibrate_from(static)
         self.static_log = static
@@ -89,6 +93,17 @@ class SessionRunner:
     @property
     def rng(self) -> np.random.Generator:
         return self.scenario.rng
+
+    def reseed(self, rng: np.random.Generator) -> None:
+        """Swap in a fresh RNG stream for the next trial.
+
+        Used by the parallel battery runner to give every trial an
+        independent, position-derived stream.  Clears the reader's read
+        history so trial state cannot leak across reseeds.
+        """
+        self.scenario.rng = rng
+        self.reader.rng = rng
+        self.reader.reset_read_history()
 
     # ------------------------------------------------------------------
 
@@ -125,12 +140,30 @@ class SessionRunner:
         motions: Sequence[Motion],
         repeats: int,
         user: UserProfile = DEFAULT_USER,
+        workers: Optional[int] = None,
     ) -> List[MotionTrial]:
-        trials = []
-        for motion in motions:
-            for _ in range(repeats):
-                trials.append(self.run_motion(motion, user=user))
-        return trials
+        """Run ``len(motions) * repeats`` motion trials.
+
+        ``workers`` <= 0 (the default via :func:`~repro.sim.parallel.
+        resolve_workers`) keeps the legacy serial loop, which threads this
+        runner's single RNG through every trial.  ``workers`` >= 1 fans
+        trials out to a process pool with per-trial seeded streams —
+        deterministic in the scenario seed and independent of the worker
+        count, but a *different* (equally valid) draw sequence than the
+        serial loop.
+        """
+        from .parallel import resolve_workers, run_motion_battery_parallel
+
+        n_workers = resolve_workers(workers)
+        if n_workers <= 0:
+            trials = []
+            for motion in motions:
+                for _ in range(repeats):
+                    trials.append(self.run_motion(motion, user=user))
+            return trials
+        return run_motion_battery_parallel(
+            self, motions, repeats, user=user, workers=n_workers
+        )
 
     def run_letter(
         self, letter: str, user: UserProfile = DEFAULT_USER
@@ -155,10 +188,22 @@ class SessionRunner:
         return trial
 
     def run_letter_battery(
-        self, letters: Sequence[str], repeats: int, user: UserProfile = DEFAULT_USER
+        self,
+        letters: Sequence[str],
+        repeats: int,
+        user: UserProfile = DEFAULT_USER,
+        workers: Optional[int] = None,
     ) -> List[LetterTrial]:
-        trials = []
-        for letter in letters:
-            for _ in range(repeats):
-                trials.append(self.run_letter(letter, user=user))
-        return trials
+        """Letter-battery counterpart of :meth:`run_motion_battery`."""
+        from .parallel import resolve_workers, run_letter_battery_parallel
+
+        n_workers = resolve_workers(workers)
+        if n_workers <= 0:
+            trials = []
+            for letter in letters:
+                for _ in range(repeats):
+                    trials.append(self.run_letter(letter, user=user))
+            return trials
+        return run_letter_battery_parallel(
+            self, letters, repeats, user=user, workers=n_workers
+        )

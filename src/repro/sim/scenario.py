@@ -66,7 +66,11 @@ class Scenario:
     environment: Environment
     rng: np.random.Generator
 
-    def make_reader(self, noise: Optional[ReceiverNoise] = None) -> Reader:
+    def make_reader(
+        self,
+        noise: Optional[ReceiverNoise] = None,
+        use_engine: Optional[bool] = None,
+    ) -> Reader:
         reader_config = ReaderConfig(
             tx_power_dbm=self.config.tx_power_dbm,
             los_occlusion=(self.config.mount == "los"),
@@ -79,6 +83,7 @@ class Scenario:
             self.environment,
             noise if noise is not None else ReceiverNoise(),
             rng=self.rng,
+            use_engine=use_engine,
         )
 
 

@@ -1,0 +1,206 @@
+"""Cross-check suite: vectorized ChannelEngine vs the scalar ChannelModel.
+
+The engine's contract (see DESIGN.md) has two tiers:
+
+* the batch path (``one_way_batch`` / ``roundtrip_batch``) matches the
+  scalar reference to <= 1e-9 *relative* error on arbitrary geometries;
+* the single-tag slot path (``one_way_single`` / ``roundtrip_single``)
+  is **bit-identical** to ``ChannelModel`` — it routes through the same
+  amplitude helpers in the same summation order.
+
+Geometries here are randomized (antenna pose, tag grid, reflector images,
+hand/arm scatterers) so the checks are property tests, not goldens.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.physics.antenna import ReaderAntenna
+from repro.physics.channel import ChannelModel, Scatterer
+from repro.physics.channel_vec import ChannelEngine
+from repro.physics.geometry import Vec3
+from repro.physics.hand import HandPose, occlusion_loss_db, occlusion_loss_db_batch
+
+WAVELENGTH = 0.327  # ~915 MHz
+
+
+def random_case(rng: np.random.Generator):
+    """One random deployment: antenna, tags, reflector images, scatterers."""
+    antenna = ReaderAntenna(
+        position=Vec3(*rng.uniform(-0.5, 0.5, 3) + np.array([0.0, 0.0, -0.4])),
+        boresight=Vec3(*rng.uniform(-0.3, 0.3, 3) + np.array([0.0, 0.0, 1.0])),
+        gain_dbi=float(rng.uniform(4.0, 9.0)),
+    )
+    n_tags = int(rng.integers(1, 26))
+    tag_positions = [
+        Vec3(float(x), float(y), float(z))
+        for x, y, z in rng.uniform(-0.2, 0.2, (n_tags, 3))
+    ]
+    tag_gains = [float(g) for g in rng.uniform(0.5, 2.0, n_tags)]
+    n_img = int(rng.integers(0, 4))
+    images = [
+        (
+            Vec3(*rng.uniform(-3.0, 3.0, 3)),
+            complex(rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4)),
+        )
+        for _ in range(n_img)
+    ]
+    n_sc = int(rng.integers(0, 5))
+    scatterers = [
+        Scatterer(
+            position=Vec3(*rng.uniform(-0.3, 0.3, 3) + np.array([0.0, 0.0, 0.05])),
+            rcs_m2=float(rng.uniform(0.001, 0.01)),
+            shadow_depth_db=float(rng.choice([0.0, 12.0])),
+        )
+        for _ in range(n_sc)
+    ]
+    loss_db = float(rng.choice([0.0, 3.5]))
+    return antenna, tag_positions, tag_gains, images, scatterers, loss_db
+
+
+def build_pair(antenna, tag_positions, tag_gains, images, occlusion_db=0.0):
+    model = ChannelModel(antenna, WAVELENGTH, images, occlusion_db)
+    engine = ChannelEngine(
+        antenna, WAVELENGTH, tag_positions, tag_gains, images, occlusion_db
+    )
+    return model, engine
+
+
+def rel_err(a: complex, b: complex) -> float:
+    scale = max(abs(a), abs(b), 1e-300)
+    return abs(a - b) / scale
+
+
+class TestBatchCrossCheck:
+    def test_one_way_batch_matches_scalar_model(self):
+        rng = np.random.default_rng(2024)
+        for _ in range(30):
+            antenna, tags, gains, images, scs, loss = random_case(rng)
+            model, engine = build_pair(antenna, tags, gains, images)
+            g_batch = engine.one_way_batch(scs, direct_extra_loss_db=loss)
+            for i, (pos, gt) in enumerate(zip(tags, gains)):
+                g_ref = model.one_way(pos, gt, scs, loss)
+                assert rel_err(g_batch[i], g_ref) <= 1e-9
+
+    def test_roundtrip_batch_matches_scalar_model(self):
+        rng = np.random.default_rng(7)
+        for _ in range(15):
+            antenna, tags, gains, images, scs, loss = random_case(rng)
+            model, engine = build_pair(antenna, tags, gains, images)
+            s_batch = engine.roundtrip_batch(
+                1.0, 0.25, scs, direct_extra_loss_db=loss
+            )
+            for i, (pos, gt) in enumerate(zip(tags, gains)):
+                s_ref = model.roundtrip(1.0, pos, gt, 0.25, scs, loss)
+                assert rel_err(s_batch[i], s_ref) <= 1e-9
+
+    def test_incident_power_batch_matches_scalar_model(self):
+        rng = np.random.default_rng(99)
+        antenna, tags, gains, images, scs, loss = random_case(rng)
+        model, engine = build_pair(antenna, tags, gains, images)
+        p_batch = engine.incident_power_batch(2.0, scs, loss)
+        for i, (pos, gt) in enumerate(zip(tags, gains)):
+            p_ref = model.incident_power(2.0, pos, gt, scs, loss)
+            assert p_batch[i] == pytest.approx(p_ref, rel=1e-9)
+
+    def test_gamma_override_matches_reconstructed_model(self):
+        # Flutter-perturbed coefficients: the engine takes them as a call
+        # argument; the scalar model bakes them into reflector_images.
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            antenna, tags, gains, images, scs, loss = random_case(rng)
+            if not images:
+                continue
+            _, engine = build_pair(antenna, tags, gains, images)
+            gammas = [
+                complex(rng.uniform(-0.4, 0.4), rng.uniform(-0.4, 0.4))
+                for _ in images
+            ]
+            perturbed = [(pos, g) for (pos, _), g in zip(images, gammas)]
+            model = ChannelModel(antenna, WAVELENGTH, perturbed)
+            g_batch = engine.one_way_batch(scs, loss, gammas=gammas)
+            for i, (pos, gt) in enumerate(zip(tags, gains)):
+                assert rel_err(g_batch[i], model.one_way(pos, gt, scs, loss)) <= 1e-9
+
+    def test_static_base_cache_is_coherent(self):
+        # one_way_batch(base=static_base(L)) must equal the uncached
+        # evaluation with the same static loss — bitwise, it is the same
+        # arithmetic on the same cached arrays.
+        rng = np.random.default_rng(13)
+        antenna, tags, gains, images, scs, loss = random_case(rng)
+        _, engine = build_pair(antenna, tags, gains, images)
+        base = engine.static_base(loss)
+        via_base = engine.one_way_batch(scs, base=base)
+        direct = engine.one_way_batch(scs, direct_extra_loss_db=loss)
+        assert np.array_equal(via_base, direct)
+
+
+class TestSinglePathBitIdentity:
+    def test_one_way_single_exactly_equals_scalar_model(self):
+        rng = np.random.default_rng(31337)
+        for _ in range(30):
+            antenna, tags, gains, images, scs, loss = random_case(rng)
+            model, engine = build_pair(antenna, tags, gains, images)
+            for i, (pos, gt) in enumerate(zip(tags, gains)):
+                assert engine.one_way_single(i, scs, loss) == model.one_way(
+                    pos, gt, scs, loss
+                )
+
+    def test_roundtrip_single_exactly_equals_scalar_model(self):
+        rng = np.random.default_rng(404)
+        for _ in range(10):
+            antenna, tags, gains, images, scs, loss = random_case(rng)
+            model, engine = build_pair(antenna, tags, gains, images)
+            for i, (pos, gt) in enumerate(zip(tags, gains)):
+                assert engine.roundtrip_single(
+                    i, 1.0, 0.25, scs, loss
+                ) == model.roundtrip(1.0, pos, gt, 0.25, scs, loss)
+
+    def test_static_occlusion_constructor_knob(self):
+        rng = np.random.default_rng(8)
+        antenna, tags, gains, images, scs, _ = random_case(rng)
+        model, engine = build_pair(antenna, tags, gains, images, occlusion_db=4.0)
+        for i, (pos, gt) in enumerate(zip(tags, gains)):
+            assert engine.one_way_single(i, scs) == model.one_way(pos, gt, scs)
+
+
+class TestOcclusionBatch:
+    def test_occlusion_batch_matches_scalar(self):
+        rng = np.random.default_rng(21)
+        antenna_pos = Vec3(0.0, 0.0, 0.9)
+        tags = rng.uniform(-0.2, 0.2, (25, 3))
+        for _ in range(10):
+            pose = HandPose(position=Vec3(*rng.uniform(-0.2, 0.2, 3)))
+            batch = occlusion_loss_db_batch(antenna_pos, tags, pose)
+            for i in range(tags.shape[0]):
+                scalar = occlusion_loss_db(antenna_pos, Vec3(*tags[i]), pose)
+                assert batch[i] == pytest.approx(scalar, rel=1e-9, abs=1e-12)
+
+    def test_occlusion_none_pose_is_zero(self):
+        tags = np.zeros((4, 3))
+        assert np.array_equal(
+            occlusion_loss_db_batch(Vec3(0, 0, 1), tags, None), np.zeros(4)
+        )
+
+
+class TestEngineCounters:
+    def test_drain_counters_counts_and_resets(self):
+        rng = np.random.default_rng(3)
+        antenna, tags, gains, images, scs, loss = random_case(rng)
+        _, engine = build_pair(antenna, tags, gains, images)
+        engine.drain_counters()
+        engine.one_way_batch(scs, loss)
+        engine.one_way_single(0, scs, loss)
+        counters = engine.drain_counters()
+        assert counters["batch_calls"] == 1
+        assert counters["single_calls"] == 1
+        assert counters["tags_evaluated"] == len(tags)
+        assert engine.drain_counters() == {
+            "batch_calls": 0,
+            "single_calls": 0,
+            "tags_evaluated": 0,
+        }

@@ -1,0 +1,102 @@
+"""Tests for the process-pool battery runner (repro.sim.parallel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.strokes import all_motions
+from repro.sim.parallel import resolve_workers, trial_rng, workers_override
+from repro.sim.runner import SessionRunner
+from repro.sim.scenario import ScenarioConfig, build_scenario
+
+
+def _motion_sig(trials):
+    return [
+        (
+            t.truth.label,
+            None if t.observed is None else t.observed.label,
+            t.log_size,
+        )
+        for t in trials
+    ]
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 0
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(2) == 2
+
+    def test_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_override_context(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with workers_override(4):
+            assert resolve_workers() == 4
+            with workers_override(None):  # None leaves the setting alone
+                assert resolve_workers() == 4
+        assert resolve_workers() == 0
+
+
+class TestTrialRng:
+    def test_deterministic_per_index(self):
+        a = trial_rng(11, 3).standard_normal(4)
+        b = trial_rng(11, 3).standard_normal(4)
+        assert np.array_equal(a, b)
+
+    def test_independent_across_indices(self):
+        a = trial_rng(11, 0).standard_normal(4)
+        b = trial_rng(11, 1).standard_normal(4)
+        assert not np.array_equal(a, b)
+
+    def test_negative_seed_accepted(self):
+        # Scenario seeds are arbitrary ints; SeedSequence entropy must not
+        # blow up on negatives (folded mod 2**63).
+        trial_rng(-7, 0).standard_normal(1)
+
+
+class TestParallelBattery:
+    def test_worker_count_does_not_change_results(self):
+        motions = all_motions()[:3]
+        r1 = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        t1 = r1.run_motion_battery(motions, 1, workers=1)
+        r4 = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        t4 = r4.run_motion_battery(motions, 1, workers=4)
+        assert len(t1) == len(motions)
+        assert _motion_sig(t1) == _motion_sig(t4)
+
+    def test_parallel_battery_is_rerun_stable(self):
+        motions = all_motions()[:2]
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        a = runner.run_motion_battery(motions, 1, workers=2)
+        b = runner.run_motion_battery(motions, 1, workers=2)
+        assert _motion_sig(a) == _motion_sig(b)
+
+    def test_letter_battery_parallel(self):
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        a = runner.run_letter_battery(["T"], 1, workers=1)
+        b = runner.run_letter_battery(["T"], 1, workers=2)
+        assert [(t.truth, t.result.letter) for t in a] == [
+            (t.truth, t.result.letter) for t in b
+        ]
+
+    def test_serial_default_unchanged(self, monkeypatch):
+        # workers unset + no env -> the legacy shared-RNG serial loop.
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        motions = all_motions()[:2]
+        a = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        b = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        assert _motion_sig(a.run_motion_battery(motions, 1)) == _motion_sig(
+            b.run_motion_battery(motions, 1)
+        )
