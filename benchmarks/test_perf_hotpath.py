@@ -65,16 +65,22 @@ def _run_battery(use_engine: bool, trace: bool = False) -> Dict[str, float]:
             build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
         )
         reads = 0
+        slots = 0
         for motion in motions:
             reads += runner.run_motion(motion).log_size
+            slots += runner.reader.last_inventory_stats.slots
         runner.run_letter(letter)
+        slots += runner.reader.last_inventory_stats.slots
         wall = time.perf_counter() - t0
         # reads counts the motion trials' logs (the letter log is not
         # retained on LetterTrial); the rate is still apples-to-apples
-        # across entries because the workload is fixed.
+        # across entries because the workload is fixed.  slots counts every
+        # MAC slot (successes + collisions + idles) the inventory engine
+        # resolved across the battery's collect windows.
         return {
             "wall_s": wall,
             "reads": float(reads),
+            "slots": float(slots),
             "trials": float(len(motions) + 1),
         }
     finally:
@@ -140,8 +146,23 @@ def _append_entry(entry: Dict) -> None:
         fh.write("\n")
 
 
+def _best_recorded_wall(smoke: bool) -> "float | None":
+    """Fastest engine wall among recorded entries of the same workload size."""
+    if not os.path.exists(BENCH_JSON):
+        return None
+    with open(BENCH_JSON, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    walls = [
+        e["engine_wall_s"]
+        for e in doc.get("entries", [])
+        if e.get("smoke", False) == smoke and e.get("engine_wall_s")
+    ]
+    return min(walls) if walls else None
+
+
 def test_hotpath_benchmark():
     rounds = 1 if SMOKE else 3
+    prior_best_wall = _best_recorded_wall(SMOKE)
     engine = _best_of(use_engine=True, rounds=rounds)
     scalar = _best_of(use_engine=False, rounds=rounds)
     speedup = scalar["wall_s"] / engine["wall_s"]
@@ -161,7 +182,9 @@ def test_hotpath_benchmark():
         if not SMOKE
         else None,
         "reads_per_s": round(engine["reads"] / engine["wall_s"], 1),
+        "slots_per_s": round(engine["slots"] / engine["wall_s"], 1),
         "trials_per_s": round(engine["trials"] / engine["wall_s"], 2),
+        "reader_collect_p95_ms": stage_p95_ms.get("trial.motion/reader.collect"),
         "parallel_trials_per_s_workers2": None
         if parallel_tps is None
         else round(parallel_tps, 2),
@@ -178,3 +201,11 @@ def test_hotpath_benchmark():
         # the 5x acceptance number is vs the pre-PR baseline and is
         # recorded (not asserted) because this container's clock is noisy.
         assert speedup > 1.5
+    # Regression floor: never regress more than 2x over the best recorded
+    # wall for the same workload size.  check.sh's smoke run arms this
+    # against the smoke history; full runs guard against the full history.
+    if prior_best_wall is not None:
+        assert engine["wall_s"] <= 2.0 * prior_best_wall, (
+            f"engine wall {engine['wall_s']:.4f}s regressed more than 2x over "
+            f"the best recorded entry ({prior_best_wall:.4f}s)"
+        )

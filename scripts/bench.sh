@@ -23,6 +23,7 @@ with open("BENCH_pipeline.json", encoding="utf-8") as fh:
 entry = doc["entries"][-1]
 for key in ("timestamp", "commit", "engine_wall_s", "scalar_wall_s",
             "speedup_engine_vs_scalar", "speedup_vs_pre_pr_baseline",
-            "reads_per_s", "trials_per_s"):
+            "reads_per_s", "slots_per_s", "trials_per_s",
+            "reader_collect_p95_ms"):
     print(f"  {key}: {entry.get(key)}")
 EOF

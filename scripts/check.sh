@@ -28,7 +28,9 @@ done
 rm -f /tmp/repro-stats-smoke.$$
 echo "ok"
 
-echo "== hot-path benchmark (smoke mode) =="
+echo "== hot-path benchmark (smoke mode, with regression floor) =="
+# Appends a smoke entry to BENCH_pipeline.json and FAILS if the engine
+# wall regresses more than 2x over the best recorded smoke entry.
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_perf_hotpath.py -q
 
 echo "== ruff =="

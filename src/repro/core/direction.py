@@ -228,11 +228,14 @@ def trough_path(
     for tr in troughs:
         r, c = layout.row_col(tr.tag_index)
         all_pts.append((float(c), float(layout.rows - 1 - r)))
-    spatial_extent = 0.0
-    for i in range(len(all_pts)):
-        for j in range(i + 1, len(all_pts)):
-            d = math.hypot(all_pts[i][0] - all_pts[j][0], all_pts[i][1] - all_pts[j][1])
-            spatial_extent = max(spatial_extent, d)
+    # Pairwise max distance as one broadcast instead of the O(n^2) Python
+    # loop; hypot(dx, dy) == sqrt(dx*dx + dy*dy) to the ulp for grid-coord
+    # magnitudes (no overflow/underflow in range), and the max of the full
+    # (n, n) matrix equals the max over unordered pairs.
+    pts = np.asarray(all_pts)
+    dx = pts[:, 0][:, None] - pts[:, 0][None, :]
+    dy = pts[:, 1][:, None] - pts[:, 1][None, :]
+    spatial_extent = float(np.sqrt(dx * dx + dy * dy).max())
 
     max_depth = max(tr.depth_db for tr in troughs)
     # Relative gate with an absolute cap: one very deep trough (a tag the

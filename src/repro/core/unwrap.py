@@ -76,7 +76,7 @@ def unwrap_residual(phases: Sequence[float], reference: float) -> np.ndarray:
     so accumulative differences see no periodicity artefacts.
     """
     arr = np.asarray(phases, dtype=float)
-    residual = np.array([fold_to_pi(p - reference) for p in arr])
+    residual = fold_to_pi_many(arr - reference)
     return unwrap(residual)
 
 

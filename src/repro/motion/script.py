@@ -18,7 +18,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..physics.geometry import Vec3
-from ..physics.hand import HandPose
+from ..physics.hand import HandPose, PoseTrack
 from .letters import LETTER_STROKES, StrokeSpec
 from .strokes import (
     ArcOpening,
@@ -93,6 +93,8 @@ class WritingScript:
                 raise ValueError("segments overlap")
         # Per-segment interpolation keys, filled lazily by hand_pose_at.
         self._seg_times: dict = {}
+        # Per-segment (times, positions) arrays, filled lazily by pose_at_many.
+        self._seg_arrays: dict = {}
 
     @property
     def t_start(self) -> float:
@@ -133,6 +135,63 @@ class WritingScript:
                     arm_length=self.user.arm_length / 2.0,
                 )
         return None
+
+    def pose_at_many(self, times: "np.ndarray") -> "PoseTrack":
+        """Vectorized :meth:`hand_pose_at`: one :class:`PoseTrack` for a whole
+        batch of query times.
+
+        Positions are bit-identical to the scalar clock: segment lookup is
+        the same ordered first-match rule, ``searchsorted(side='right')``
+        reproduces ``bisect.bisect_right``, and the clamped linear
+        interpolation evaluates ``a + (b - a) * frac`` with the scalar
+        ``Vec3.lerp`` operand order (degenerate rows — before the first
+        sample, after the last, zero-length intervals — select the endpoint
+        sample directly rather than re-deriving it arithmetically).
+        """
+        tq = np.ascontiguousarray(times, dtype=float)
+        m = tq.size
+        present = np.zeros(m, dtype=bool)
+        xyz = np.zeros((m, 3))
+        template_idx = np.full(m, -1, dtype=np.int64)
+        assigned = np.zeros(m, dtype=bool)
+        for idx, seg in enumerate(self.segments):
+            mask = (~assigned) & (tq >= seg.t0) & (tq <= seg.t1)
+            if not mask.any():
+                continue
+            assigned |= mask
+            if seg.kind == "absent":
+                continue
+            samples = seg.trace.samples if seg.trace is not None else seg.path
+            if not samples:
+                continue
+            arrays = self._seg_arrays.get(idx)
+            if arrays is None:
+                st = np.array([s.t for s in samples])
+                pos = np.array([s.position.as_tuple() for s in samples])
+                arrays = self._seg_arrays[idx] = (st, pos)
+            st, pos = arrays
+            n = st.size
+            t_in = tq[mask]
+            i = np.searchsorted(st, t_in, side="right")
+            lo = np.clip(i - 1, 0, n - 1)
+            hi = np.clip(i, 0, n - 1)
+            ta = st[lo]
+            tb = st[hi]
+            pa = pos[lo]
+            pb = pos[hi]
+            denom = tb - ta
+            safe = (denom != 0.0) & (i > 0) & (i < n)
+            frac = np.where(
+                safe, (t_in - ta) / np.where(safe, denom, 1.0), 0.0
+            )
+            interp = pa + (pb - pa) * frac[:, None]
+            xyz[mask] = np.where(safe[:, None], interp, pa)
+            present[mask] = True
+            template_idx[mask] = 0
+        template = HandPose(
+            position=Vec3(0.0, 0.0, 0.0), arm_length=self.user.arm_length / 2.0
+        )
+        return PoseTrack(tq, present, xyz, [template], template_idx)
 
     def true_trajectory(self, dt: float = 1.0 / 30.0) -> List[TimedPoint]:
         """Dense ground-truth trajectory (used by the simulated Kinect)."""

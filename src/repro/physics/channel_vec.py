@@ -294,6 +294,84 @@ class ChannelEngine:
             g = g * np.where(shadow_db > 0.0, 10.0 ** (-shadow_db / 20.0), 1.0)
         return g
 
+    def scene_powers(
+        self,
+        base: np.ndarray,
+        tx_power_w: float,
+        one_way_loss: float,
+        hand_xyz: "Tuple[float, float, float] | None" = None,
+        offsets: "np.ndarray | None" = None,
+        rcs: "np.ndarray | None" = None,
+        shadow: "Tuple[float, float, float] | None" = None,
+    ) -> np.ndarray:
+        """Per-tag incident powers for a static base plus an optional hand.
+
+        The per-round readability fast path: element-for-element the same
+        numpy operations as :meth:`one_way_batch` (scatterer hops over a
+        hand + arm-point group) followed by the reader's power expression —
+        so the resulting readable *set* is identical — but fed from
+        precomputed template arrays instead of per-round ``Scatterer`` /
+        ``Vec3`` object graphs.  ``offsets`` is the ``(S, 3)`` block of
+        scatterer displacements from the hand position (row 0 is zeros: the
+        hand itself), ``rcs`` the matching RCS column, ``shadow`` the
+        hand's ``(depth_db, lateral_scale, vertical_scale)``.
+        """
+        self.batch_calls += 1
+        self.tags_evaluated += len(self._tag_positions)
+        g = base
+        if hand_xyz is not None:
+            px, py, pz = hand_xyz
+            # position + cached u*k offsets: the same float adds as
+            # HandPose.arm_points; row 0 is assigned directly so a signed
+            # zero in the position survives untouched.
+            sc_pos = np.array((px, py, pz)) + offsets
+            sc_pos[0, 0] = px
+            sc_pos[0, 1] = py
+            sc_pos[0, 2] = pz
+            diff0 = sc_pos - self._ant_np
+            d1 = np.sqrt(np.einsum("ij,ij->i", diff0, diff0))
+            diff = self.tag_positions_np[None, :, :] - sc_pos[:, None, :]
+            d2 = np.sqrt(np.einsum("snk,snk->sn", diff, diff))
+            if d1.min() > 0.0 and d2.min() > 0.0:
+                # All hops valid (the overwhelmingly common case): the
+                # guarded ``where`` selections of one_way_batch reduce to
+                # identity, so skipping them leaves every element bitwise
+                # unchanged while saving the mask dispatches.
+                d1_safe = d1
+                d2_safe = d2
+                valid = None
+            else:
+                d1_safe = np.where(d1 > 0.0, d1, 1.0)
+                valid = (d1[:, None] > 0.0) & (d2 > 0.0)
+                d2_safe = np.where(valid, d2, 1.0)
+            cos_t = np.clip((diff0 @ self._boresight_np) / d1_safe, -1.0, 1.0)
+            if self._pattern_n > 0.0:
+                pattern = np.maximum(
+                    np.maximum(cos_t, 0.0) ** self._pattern_n, self._back_lobe
+                )
+            else:
+                pattern = np.where(cos_t >= 0.0, 1.0, self._back_lobe)
+            gr_sc = self._gain_linear * pattern
+            amp = np.sqrt(
+                (gr_sc * rcs)[:, None] * self.tag_gains_np * self._scatter_const
+            ) / (d1_safe[:, None] * d2_safe)
+            contrib = amp * np.exp(self._neg_jk * (d1_safe[:, None] + d2_safe))
+            if valid is not None and not valid.all():
+                contrib = np.where(valid, contrib, 0.0)
+            g = g + contrib.sum(axis=0)
+
+            depth, ls, vs = shadow
+            if depth > 0.0:
+                p = self.tag_positions_np
+                lateral = np.hypot(px - p[:, 0], py - p[:, 1])
+                vertical = np.abs(pz - p[:, 2])
+                shadow_db = depth * np.exp(
+                    -0.5 * (lateral / ls) ** 2 - 0.5 * (vertical / vs) ** 2
+                )
+                if np.any(shadow_db > 0.0):
+                    g = g * np.where(shadow_db > 0.0, 10.0 ** (-shadow_db / 20.0), 1.0)
+        return tx_power_w * np.abs(g * one_way_loss) ** 2
+
     def incident_power_batch(
         self,
         tx_power_w: float,
@@ -389,6 +467,229 @@ class ChannelEngine:
         """One tag's roundtrip baseband voltage (see ``ChannelModel.roundtrip``)."""
         g = self.one_way_single(tag_index, scatterers, direct_extra_loss_db, gammas)
         return math.sqrt(tx_power_w * tag_modulation_efficiency) * g * g
+
+    # ------------------------------------------------------------------
+    # Row-batched slot path (bit-identical to one_way_single per row)
+    # ------------------------------------------------------------------
+
+    def backscatter_rows(
+        self,
+        tag_idx: np.ndarray,
+        direct_amp: np.ndarray,
+        sqrt_txp_eff: np.ndarray,
+        gammas_re: np.ndarray,
+        gammas_im: np.ndarray,
+        hand_xyz: "np.ndarray | None" = None,
+        template: "object | None" = None,
+    ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Roundtrip voltages for M successful slots at once, bit-identical
+        per row to ``roundtrip_single`` + ``detuning_phase_rad``.
+
+        Parameters are column-wise over the M rows: the winning tag index,
+        the post-loss direct amplitude (``a_direct`` after the caller's
+        ``sqrt(db_to_linear(-loss))`` factor, matching ``one_way_single``'s
+        own scalar computation), the precomputed ``sqrt(Pt * m_tag)``
+        roundtrip scale, and the fluttered reflection coefficients as
+        ``(M, R)`` real/imag arrays.  ``hand_xyz``/``template`` describe a
+        HandPose-shaped scatterer group (hand + arm points) shared by all
+        rows; ``None`` means no hand anywhere in the batch.
+
+        Returns ``(s_re, s_im, detune_rad)``.
+
+        Bit-identity strategy (the PR 2 contract, extended): elementwise
+        ``+ - * /``, ``np.sqrt/np.cos/np.sin`` and manual componentwise
+        complex products reproduce the scalar arithmetic exactly, so the
+        straight-line ray sums vectorize; everything that routes through
+        libm with data-dependent arguments where numpy's kernels differ in
+        the last ulp — ``hypot``, ``atan2``, ``exp``, ``pow`` (including
+        ``x ** 2``, which CPython evaluates as ``pow(x, 2.0)`` while numpy
+        squares with a multiply) — runs in short per-row Python loops.
+        """
+        m = int(tag_idx.size)
+        self.batch_calls += 1
+        self.single_calls += m
+        self.tags_evaluated += m
+        wl = self.wavelength
+        out_detune = np.zeros(m)
+        if m == 0:
+            return np.zeros(0), np.zeros(0), out_detune
+
+        # --- direct path: g = 0j; g += a_direct * exp_direct[tag] ---------
+        er = self.exp_direct_np.real[tag_idx]
+        ei = self.exp_direct_np.imag[tag_idx]
+        # float * complex expands with (a, 0.0): keep the 0.0 cross terms so
+        # signed zeros match the scalar product exactly.
+        g_re = 0.0 + (direct_amp * er - 0.0 * ei)
+        g_im = 0.0 + (direct_amp * ei + 0.0 * er)
+
+        # --- static reflectors (fluttered coefficients per row) -----------
+        for j in range(gammas_re.shape[1]):
+            grl = gammas_re[:, j].tolist()
+            gil = gammas_im[:, j].tolist()
+            # abs() of a complex is libm hypot; cmath.phase is atan2 — both
+            # off-by-an-ulp in numpy, so they stay scalar.
+            amp = np.array([math.hypot(a, b) for a, b in zip(grl, gil)])
+            extra = np.array(
+                [
+                    0.0
+                    if (a == 0.0 and b == 0.0)
+                    else (math.atan2(b, a) / TWO_PI) * wl
+                    for a, b in zip(grl, gil)
+                ]
+            )
+            a_img = amp * self.fs_img_np[j][tag_idx]
+            length = self.d_img_np[j][tag_idx] - extra
+            # cmath.exp(-1j * TWO_PI * length / wl): the exponent's real
+            # part is a signed zero (exp of it is exactly 1), its imaginary
+            # part is ((-TWO_PI) * length) / wl with exactly this grouping.
+            theta = ((-TWO_PI) * length) / wl
+            c = np.cos(theta)
+            s = np.sin(theta)
+            g_re = g_re + (a_img * c - 0.0 * s)
+            g_im = g_im + (a_img * s + 0.0 * c)
+
+        # --- dynamic scatterers: hand + arm points ------------------------
+        if hand_xyz is not None and template is not None:
+            tag_x = self.tag_positions_np[tag_idx, 0]
+            tag_y = self.tag_positions_np[tag_idx, 1]
+            tag_z = self.tag_positions_np[tag_idx, 2]
+            gt = self.tag_gains_np[tag_idx]
+            hx = hand_xyz[:, 0]
+            hy = hand_xyz[:, 1]
+            hz = hand_xyz[:, 2]
+            ax, ay, az = self._ant_xyz
+            b = self._boresight_np
+            bx, by, bz = float(b[0]), float(b[1]), float(b[2])
+            pn = self._pattern_n
+            bl = self._back_lobe
+            gl = self._gain_linear
+            wl2 = wl**2
+            fp3 = FOUR_PI**3
+
+            # Scatterer group: the hand plus arm sample points at fixed
+            # offsets — HandPose.arm_points computes position + u*k per
+            # component, so "position + precomputed u*k" is the same float.
+            direction = template.arm_direction.normalized()
+            n_arm = 3
+            arm_ks = [template.arm_length * (i + 1) / n_arm for i in range(n_arm)]
+            per_point_rcs = template.arm_rcs_m2 / n_arm
+            groups = [(hx, hy, hz, template.hand_rcs_m2)]
+            for k in arm_ks:
+                groups.append(
+                    (
+                        hx + direction.x * k,
+                        hy + direction.y * k,
+                        hz + direction.z * k,
+                        per_point_rcs,
+                    )
+                )
+
+            for sx, sy, sz, rcs in groups:
+                dx = ax - sx
+                dy = ay - sy
+                dz = az - sz
+                d1 = np.sqrt(dx * dx + dy * dy + dz * dz)
+                e_x = sx - tag_x
+                e_y = sy - tag_y
+                e_z = sz - tag_z
+                d2 = np.sqrt(e_x * e_x + e_y * e_y + e_z * e_z)
+                valid = (d1 > 0.0) & (d2 > 0.0)
+                all_valid = bool(valid.all())
+
+                # gain_towards(sc): direction cosines from the antenna.
+                gdx = sx - ax
+                gdy = sy - ay
+                gdz = sz - az
+                gd2 = gdx * gdx + gdy * gdy + gdz * gdz
+                gd2_safe = gd2 if all_valid else np.where(gd2 > 0.0, gd2, 1.0)
+                cos_t = (gdx * bx + gdy * by + gdz * bz) / np.sqrt(gd2_safe)
+                cos_t = np.maximum(-1.0, np.minimum(1.0, cos_t))
+
+                # Scalar loops: the cos^n pattern and the d^2 terms are libm
+                # pow in the scalar reference (x ** n, x ** 2), which no
+                # numpy spelling reproduces bit-for-bit.
+                cosl = cos_t.tolist()
+                if pn > 0.0:
+                    pat = np.array(
+                        [max(c**pn, bl) if c >= 0.0 else bl for c in cosl]
+                    )
+                else:
+                    pat = np.array([max(1.0, bl) if c >= 0.0 else bl for c in cosl])
+                d1sq = np.array([v**2 for v in d1.tolist()])
+                d2sq = np.array([v**2 for v in d2.tolist()])
+
+                gr_sc = gl * pat
+                power_gain = (((gr_sc * gt) * wl2) * rcs) / ((fp3 * d1sq) * d2sq)
+                a_sc = np.sqrt(power_gain)
+                theta = ((-TWO_PI) * (d1 + d2)) / wl
+                c = np.cos(theta)
+                s = np.sin(theta)
+                t_re = a_sc * c - 0.0 * s
+                t_im = a_sc * s + 0.0 * c
+                if all_valid:
+                    g_re = g_re + t_re
+                    g_im = g_im + t_im
+                else:
+                    # The scalar loop `continue`s on degenerate hops: a
+                    # masked where (not an add of 0.0) keeps -0.0 intact.
+                    g_re = np.where(valid, g_re + t_re, g_re)
+                    g_im = np.where(valid, g_im + t_im, g_im)
+
+            # --- near-field shadow + detuning (hand only; scalar libm) ----
+            sd = template.shadow_depth_db
+            dr = template.detune_rad
+            if sd > 0.0 or dr != 0.0:
+                hand_sc = template.scatterers(include_arm=False)[0]
+                s_ls = hand_sc.shadow_lateral_scale
+                s_vs = hand_sc.shadow_vertical_scale
+                d_ls = hand_sc.detune_lateral_scale
+                d_vs = hand_sc.detune_vertical_scale
+                shl: "List[float]" = []
+                dtl: "List[float]" = []
+                fal: "List[float]" = []
+                for xh, yh, zh, xt, yt, zt in zip(
+                    hx.tolist(), hy.tolist(), hz.tolist(),
+                    tag_x.tolist(), tag_y.tolist(), tag_z.tolist(),
+                ):
+                    lat = math.hypot(xh - xt, yh - yt)
+                    vert = abs(zh - zt)
+                    if sd > 0.0:
+                        sh = sd * math.exp(
+                            -0.5 * (lat / s_ls) ** 2 - 0.5 * (vert / s_vs) ** 2
+                        )
+                        shl.append(sh)
+                        # g *= sqrt(db_to_linear(-shadow_db)) when > 0 dB.
+                        fal.append(
+                            math.sqrt(10.0 ** ((-sh) / 10.0)) if sh > 0.0 else 1.0
+                        )
+                    if dr != 0.0:
+                        dtl.append(
+                            dr * math.exp(
+                                -0.5 * (lat / d_ls) ** 2 - 0.5 * (vert / d_vs) ** 2
+                            )
+                        )
+                if dr != 0.0:
+                    out_detune = np.array(dtl)
+                if sd > 0.0:
+                    sh_arr = np.array(shl)
+                    fac = np.array(fal)
+                    apply = sh_arr > 0.0
+                    # complex *= float expands with (f, 0.0) cross terms.
+                    new_re = g_re * fac - g_im * 0.0
+                    new_im = g_re * 0.0 + g_im * fac
+                    if bool(apply.all()):
+                        g_re, g_im = new_re, new_im
+                    else:
+                        g_re = np.where(apply, new_re, g_re)
+                        g_im = np.where(apply, new_im, g_im)
+
+        # --- roundtrip: (sqrt(Pt*m) * g) * g ------------------------------
+        c0 = sqrt_txp_eff
+        h_re = c0 * g_re - 0.0 * g_im
+        h_im = c0 * g_im + 0.0 * g_re
+        s_re = h_re * g_re - h_im * g_im
+        s_im = h_re * g_im + h_im * g_re
+        return s_re, s_im, out_detune
 
     # ------------------------------------------------------------------
 

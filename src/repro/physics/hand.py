@@ -95,6 +95,77 @@ class HandPose:
         return out
 
 
+@dataclass
+class PoseTrack:
+    """A batch of hand poses sampled at many timestamps, column-wise.
+
+    The batched reader path asks the motion layer for all of a window's
+    success-slot poses in one call (``WritingScript.pose_at_many``); the
+    result is this struct-of-arrays: positions for the rows where a hand is
+    present, plus the pose *parameters* (arm geometry, RCS, shadow/detune
+    strengths) factored into shared templates.  Almost every producer uses
+    a single template — the per-row ``template_idx`` only matters for
+    ad-hoc pose callables that vary parameters over time.
+    """
+
+    times: np.ndarray         # (M,) sample times, seconds
+    present: np.ndarray       # (M,) bool: hand in the scene at times[i]
+    xyz: np.ndarray           # (M, 3) hand positions; rows with ~present are undefined
+    templates: List[HandPose]  # shared parameter sets; positions ignored
+    template_idx: np.ndarray  # (M,) int index into templates; -1 where absent
+
+    @classmethod
+    def from_poses(
+        cls, times: np.ndarray, poses: "Sequence[HandPose | None]"
+    ) -> "PoseTrack":
+        """Columnize scalar ``hand_pose_at`` results (the fallback when a
+        pose source has no vectorized ``pose_at_many``)."""
+        times = np.asarray(times, dtype=float)
+        m = times.size
+        present = np.zeros(m, dtype=bool)
+        xyz = np.zeros((m, 3))
+        templates: List[HandPose] = []
+        template_idx = np.full(m, -1, dtype=np.int64)
+        keymap: dict = {}
+        for i, pose in enumerate(poses):
+            if pose is None:
+                continue
+            present[i] = True
+            p = pose.position
+            xyz[i, 0] = p.x
+            xyz[i, 1] = p.y
+            xyz[i, 2] = p.z
+            key = (
+                pose.arm_direction.x, pose.arm_direction.y, pose.arm_direction.z,
+                pose.arm_length, pose.hand_rcs_m2, pose.arm_rcs_m2,
+                pose.shadow_depth_db, pose.detune_rad,
+            )
+            k = keymap.get(key)
+            if k is None:
+                k = keymap[key] = len(templates)
+                templates.append(pose)
+            template_idx[i] = k
+        return cls(times, present, xyz, templates, template_idx)
+
+    def pose_at(self, i: int) -> "HandPose | None":
+        """Reconstruct row ``i`` as a scalar :class:`HandPose` (LOS occlusion
+        falls back to the scalar per-row evaluation)."""
+        if not self.present[i]:
+            return None
+        tmpl = self.templates[int(self.template_idx[i])]
+        return HandPose(
+            position=Vec3(
+                float(self.xyz[i, 0]), float(self.xyz[i, 1]), float(self.xyz[i, 2])
+            ),
+            arm_direction=tmpl.arm_direction,
+            arm_length=tmpl.arm_length,
+            hand_rcs_m2=tmpl.hand_rcs_m2,
+            arm_rcs_m2=tmpl.arm_rcs_m2,
+            shadow_depth_db=tmpl.shadow_depth_db,
+            detune_rad=tmpl.detune_rad,
+        )
+
+
 def point_to_segment_distance(p: Vec3, a: Vec3, b: Vec3) -> float:
     """Shortest distance from point ``p`` to segment ``ab``."""
     ab = b - a

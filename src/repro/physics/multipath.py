@@ -118,6 +118,46 @@ class Environment:
                 gammas.append(mag * cmath.exp(1j * ph))
         return gammas
 
+    @property
+    def flutter_draw_count(self) -> int:
+        """Standard normals :meth:`sample_gammas` consumes per call."""
+        return int(self._flutter_plan[0].size)
+
+    def sample_gammas_rows(
+        self, z: "np.ndarray"
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Vectorized :meth:`sample_gammas` over pre-drawn standard normals.
+
+        ``z`` is an ``(M, flutter_draw_count)`` block of standard-normal
+        draws, one row per read, laid out exactly as M sequential
+        ``sample_gammas`` calls would consume them.  Returns the reflection
+        coefficients as real/imaginary ``(M, R)`` arrays whose elements are
+        bit-identical to the scalar path: the elementwise operations
+        (``scale`` multiply, clamp, ``cos``/``sin``, the float-times-complex
+        product expansion) all reproduce the scalar arithmetic exactly —
+        ``cmath.exp(1j * ph)`` is ``(cos(ph), sin(ph))``, and the scalar
+        ``mag * <complex>`` product carries ``0.0 *`` cross terms whose
+        signed zeros the expansion below preserves.
+        """
+        scales, info = self._flutter_plan
+        m = z.shape[0]
+        n_refl = len(self.reflectors)
+        g_re = np.empty((m, n_refl))
+        g_im = np.empty((m, n_refl))
+        draws = z * scales if scales.size else z
+        for j, (coefficient, mag0, ph0, idx) in enumerate(info):
+            if idx < 0:
+                g_re[:, j] = coefficient.real
+                g_im[:, j] = coefficient.imag
+            else:
+                mag = mag0 * np.maximum(0.0, 1.0 + draws[:, idx])
+                ph = ph0 + draws[:, idx + 1]
+                c = np.cos(ph)
+                s = np.sin(ph)
+                g_re[:, j] = mag * c - 0.0 * s
+                g_im[:, j] = mag * s + 0.0 * c
+        return g_re, g_im
+
     def image_antennas(
         self, antenna_position: Vec3, rng: "np.random.Generator | None" = None
     ) -> List[Tuple[Vec3, complex]]:

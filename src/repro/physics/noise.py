@@ -105,6 +105,39 @@ class ReceiverNoise:
         # Quantisation can land exactly on 2*pi; fold back.
         return rss_dbm, wrap_phase(phase)
 
+    def observe_with_draws(
+        self,
+        baseband: complex,
+        z_iq0: float,
+        z_iq1: float,
+        z_rss: float,
+        z_phase: float,
+    ) -> "tuple[float, float]":
+        """:meth:`observe` over pre-drawn standard normals.
+
+        The batched reader path draws one standard-normal block per
+        inventory round and hands each read its four draws (I, Q, RSS,
+        phase — the order :meth:`observe` consumes them).  ``normal(0, s)``
+        draws a standard normal and scales it by ``s`` (bit-identical to
+        ``standard_normal() * s``), so feeding the same stream through this
+        method reproduces :meth:`observe`'s reports exactly.
+        """
+        noisy = baseband + complex(z_iq0 * self._iq_sigma, z_iq1 * self._iq_sigma)
+        power_w = abs(noisy) ** 2
+        rss_dbm = watts_to_dbm_floor(power_w)
+
+        deficit_db = max(0.0, self.agc_reference_dbm - rss_dbm)
+        phase_sigma = math.hypot(
+            self.residual_phase_jitter_rad,
+            self.agc_phase_slope_rad_per_db * deficit_db,
+        )
+        rss_sigma = self.base_rss_jitter_db + self.agc_rss_slope_db_per_db * deficit_db
+
+        rss_dbm = quantise(rss_dbm + z_rss * rss_sigma, self.rss_quantum_db)
+        phase = cmath.phase(noisy) + z_phase * phase_sigma
+        phase = quantise(wrap_phase(phase), self.phase_quantum_rad)
+        return rss_dbm, wrap_phase(phase)
+
     def phase_std_estimate(self, signal_power_w: float) -> float:
         """Predicted phase std (radians) at a given backscatter power.
 

@@ -26,7 +26,7 @@ from ..obs.trace import get_tracer
 from ..physics.antenna import ReaderAntenna
 from ..physics.channel import ChannelModel, Scatterer, detuning_phase_rad
 from ..physics.channel_vec import ChannelEngine
-from ..physics.hand import HandPose, occlusion_loss_db, occlusion_loss_db_batch
+from ..physics.hand import HandPose, PoseTrack, occlusion_loss_db, occlusion_loss_db_batch
 from ..physics.multipath import Environment, free_space
 from ..physics.noise import ReceiverNoise, doppler_estimate_hz
 from ..units import (
@@ -38,10 +38,12 @@ from ..units import (
     wrap_phase,
 )
 from .deployment import TagArray
+from .inventory_vec import RoundBatchInventory
 from .protocol import Gen2Inventory, LinkProfile
 from .reports import ReportLog, TagReadReport
 
 HandPoseFn = Callable[[float], Optional[HandPose]]
+PoseTrackFn = Callable[[np.ndarray], PoseTrack]
 
 
 @dataclass(frozen=True)
@@ -135,6 +137,10 @@ class Reader:
         )
         self._one_way_loss = math.sqrt(db_to_linear(-config.system_loss_db))
         self._last_read: Dict[int, Tuple[float, float]] = {}  # tag -> (t, phase)
+        # Per-template readability arrays (arm offsets, RCS column, shadow
+        # params) keyed by the pose's parameter tuple — poses share a
+        # template per script, so this is computed once per session.
+        self._pose_cache: Dict[Tuple[float, ...], Tuple[np.ndarray, np.ndarray, Tuple[float, float, float]]] = {}
 
     # ------------------------------------------------------------------
     # Per-read channel evaluation
@@ -179,6 +185,58 @@ class Reader:
                 for i, tag in enumerate(self.array.tags)
                 if tag.is_powered(self.incident_power_w(i, pose))
             ]
+        return self._readable_arr(pose).tolist()
+
+    def _pose_fast_arrays(
+        self, pose: HandPose
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple[float, float, float]]:
+        """Template arrays for :meth:`ChannelEngine.scene_powers`.
+
+        The offsets are the exact ``u * k`` products of
+        :meth:`HandPose.arm_points` (row 0 zeros: the hand itself), so
+        ``position + offsets`` reproduces the scalar arm-point coordinates
+        bit-for-bit.
+        """
+        key = (
+            pose.arm_direction.x, pose.arm_direction.y, pose.arm_direction.z,
+            pose.arm_length, pose.hand_rcs_m2, pose.arm_rcs_m2,
+            pose.shadow_depth_db, pose.detune_rad,
+        )
+        entry = self._pose_cache.get(key)
+        if entry is None:
+            direction = pose.arm_direction.normalized()
+            ux, uy, uz = direction.x, direction.y, direction.z
+            ks = [pose.arm_length * (i + 1) / 3 for i in range(3)]
+            offsets = np.zeros((4, 3))
+            for row, k in enumerate(ks, start=1):
+                offsets[row, 0] = ux * k
+                offsets[row, 1] = uy * k
+                offsets[row, 2] = uz * k
+            per_point = pose.arm_rcs_m2 / 3
+            rcs = np.array([pose.hand_rcs_m2, per_point, per_point, per_point])
+            hand_sc = pose.scatterers(include_arm=False)[0]
+            shadow = (
+                hand_sc.shadow_depth_db,
+                hand_sc.shadow_lateral_scale,
+                hand_sc.shadow_vertical_scale,
+            )
+            entry = (offsets, rcs, shadow)
+            self._pose_cache[key] = entry
+        return entry
+
+    def _readable_arr(
+        self, pose: Optional[HandPose], sens_w: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Engine-tier :meth:`readable_indices`, as an int64 index array.
+
+        The non-LOS hand case — every round of every writing trial — runs
+        through :meth:`ChannelEngine.scene_powers` with cached template
+        arrays; LOS occlusion keeps the general ``one_way_batch`` route
+        (its per-tag direct losses depend on the pose).  ``sens_w`` lets a
+        collect window pass the sensitivity vector it resolved once up
+        front — nothing can mutate tag sensitivities *inside* a window
+        (the simulator is single-threaded), only between collects.
+        """
         if pose is None and self._static_powers is not None:
             powers = self._static_powers
         else:
@@ -188,14 +246,28 @@ class Reader:
                         self.antenna.position, self._engine.tag_positions_np, pose
                     )
                     g = self._engine.one_way_batch(self._scatterers(pose), loss_db)
-                else:
-                    g = self._engine.one_way_batch(
-                        self._scatterers(pose), base=self._static_base
+                    powers = self.config.tx_power_w * np.abs(g * self._one_way_loss) ** 2
+                elif pose is not None:
+                    offsets, rcs, shadow = self._pose_fast_arrays(pose)
+                    p = pose.position
+                    powers = self._engine.scene_powers(
+                        self._static_base,
+                        self.config.tx_power_w,
+                        self._one_way_loss,
+                        (p.x, p.y, p.z),
+                        offsets,
+                        rcs,
+                        shadow,
                     )
-            powers = self.config.tx_power_w * np.abs(g * self._one_way_loss) ** 2
+                else:
+                    powers = self._engine.scene_powers(
+                        self._static_base, self.config.tx_power_w, self._one_way_loss
+                    )
             if pose is None:
                 self._static_powers = powers
-        return np.nonzero(powers >= self._sensitivity_w())[0].tolist()
+        if sens_w is None:
+            sens_w = self._sensitivity_w()
+        return np.nonzero(powers >= sens_w)[0]
 
     def _sensitivity_w(self) -> np.ndarray:
         """Per-tag IC wake-up thresholds (watts), revalidated on every call.
@@ -279,6 +351,7 @@ class Reader:
         hand_pose_at: Optional[HandPoseFn] = None,
         start_time: float = 0.0,
         log: Optional[ReportLog] = None,
+        pose_at_many: Optional[PoseTrackFn] = None,
     ) -> ReportLog:
         """Run continuous inventory for ``duration`` seconds.
 
@@ -286,15 +359,49 @@ class Reader:
         (or ``None`` when no hand is in the scene).  Readability is
         re-evaluated once per inventory round; each successful slot gets a
         full channel evaluation at the slot's own timestamp.
+
+        With the channel engine enabled the window runs on the round-batched
+        path: the MAC resolves whole rounds (:class:`RoundBatchInventory`)
+        and all of a window's successes go through the engine's row-batched
+        channel kernel, emitting a bit-identical report stream.
+        ``REPRO_SCALAR_INVENTORY=1`` forces the scalar slot loop (the
+        reference for the golden-stream equality tests).  ``pose_at_many``
+        optionally supplies the vectorized pose clock; when ``hand_pose_at``
+        is a bound method of an object exposing ``pose_at_many`` (a
+        :class:`~repro.motion.script.WritingScript`), it is picked up
+        automatically.
         """
         if duration <= 0.0:
             raise ValueError(f"duration must be positive, got {duration}")
         pose_at: HandPoseFn = hand_pose_at if hand_pose_at is not None else (lambda t: None)
+        if pose_at_many is None and hand_pose_at is not None:
+            owner = getattr(hand_pose_at, "__self__", None)
+            if owner is not None:
+                pose_at_many = getattr(owner, "pose_at_many", None)
+        out = log if log is not None else ReportLog()
+        n_before = len(out)
+        use_batched = (
+            self._engine is not None
+            and os.environ.get("REPRO_SCALAR_INVENTORY", "0") != "1"
+        )
+        if use_batched:
+            return self._collect_batched(
+                duration, pose_at, pose_at_many, start_time, out, n_before
+            )
+        return self._collect_scalar(duration, pose_at, start_time, out, n_before)
+
+    def _collect_scalar(
+        self,
+        duration: float,
+        pose_at: HandPoseFn,
+        start_time: float,
+        out: ReportLog,
+        n_before: int,
+    ) -> ReportLog:
+        """The reference slot loop: one ``observe_tag`` per success."""
         inventory = Gen2Inventory(
             self.rng, start_time=start_time, profile=self.config.link_profile
         )
-        out = log if log is not None else ReportLog()
-        n_before = len(out)
 
         def readable_at(t: float) -> Sequence[int]:
             return self.readable_indices(pose_at(t))
@@ -315,6 +422,209 @@ class Reader:
         self.last_inventory_stats = inventory.stats
         self._record_metrics(inventory.stats, out, n_before)
         return out
+
+    def _collect_batched(
+        self,
+        duration: float,
+        pose_at: HandPoseFn,
+        pose_at_many: Optional[PoseTrackFn],
+        start_time: float,
+        out: ReportLog,
+        n_before: int,
+    ) -> ReportLog:
+        """Round-batched inventory + row-batched channel evaluation.
+
+        RNG stream contract (what makes the output bit-identical to the
+        scalar path): per round, the MAC consumes one ``integers`` draw,
+        then the scalar path consumes ``flutter + 4`` standard normals per
+        success *in slot order* before the next round's draw.  Here each
+        round's successes pull one ``standard_normal(k * nz)`` block inside
+        the generator loop — same stream positions, same values — and the
+        block is later sliced per read in the same slot order.
+        """
+        inventory = RoundBatchInventory(
+            self.rng, start_time=start_time, profile=self.config.link_profile
+        )
+        nz_f = self.environment.flutter_draw_count
+        nz = nz_f + 4
+        sens_w = self._sensitivity_w()
+
+        def readable_at(t: float) -> np.ndarray:
+            return self._readable_arr(pose_at(t), sens_w)
+
+        with get_tracer().span("reader.collect", duration_s=duration) as sp:
+            all_times: List[np.ndarray] = []
+            all_winners: List[np.ndarray] = []
+            all_z: List[np.ndarray] = []
+            n_total = 0
+            for rr in inventory.run_until_batch(start_time + duration, readable_at):
+                k = rr.n_success
+                if k == 0:
+                    continue
+                all_times.append(rr.times)
+                all_winners.append(rr.winners)
+                all_z.append(self.rng.standard_normal(k * nz))
+                n_total += k
+            if n_total:
+                times = np.concatenate(all_times)
+                winners = np.concatenate(all_winners)
+                z = np.concatenate(all_z).reshape(n_total, nz)
+                self._emit_batched(times, winners, z, nz_f, pose_at, pose_at_many, out)
+            stats = inventory.stats
+            sp.set(
+                reads=stats.successes,
+                collisions=stats.collisions,
+                idles=stats.idles,
+                read_rate_hz=round(stats.read_rate, 1),
+            )
+        self.last_inventory_stats = inventory.stats
+        self._record_metrics(inventory.stats, out, n_before)
+        return out
+
+    def _emit_batched(
+        self,
+        times: np.ndarray,
+        winners: np.ndarray,
+        z: np.ndarray,
+        nz_f: int,
+        pose_at: HandPoseFn,
+        pose_at_many: Optional[PoseTrackFn],
+        out: ReportLog,
+    ) -> None:
+        """Evaluate one window's successes through the row kernel and emit."""
+        m = times.size
+        engine = self._engine
+        assert engine is not None
+        config = self.config
+        tags = self.array.tags
+
+        # Poses for every success timestamp — one vectorized call, or the
+        # scalar clock exactly once per timestamp as the fallback.
+        if pose_at_many is not None:
+            track = pose_at_many(times)
+        else:
+            track = PoseTrack.from_poses(
+                times, [pose_at(t) for t in times.tolist()]
+            )
+
+        # Per-tag window constants, with the scalar expressions verbatim.
+        a_direct = engine._a_direct
+        occl_db = engine.occlusion_db
+        amp_by_tag: List[float] = []
+        sqrt_te: List[float] = []
+        trt: List[float] = []
+        for tag, a in zip(tags, a_direct):
+            loss_db = occl_db + tag.static_shadow_db
+            amp_by_tag.append(
+                a * math.sqrt(db_to_linear(-loss_db)) if loss_db > 0.0 else a
+            )
+            sqrt_te.append(math.sqrt(config.tx_power_w * tag.modulation_efficiency))
+            trt.append(config.theta_reader + tag.theta_tag)
+        amp_rows = np.array(amp_by_tag)[winners]
+        sqrt_te_rows = np.array(sqrt_te)[winners]
+
+        # LOS deployments add a per-read arm-occlusion loss on the direct
+        # path; it depends on the pose, so those rows recompute the scalar
+        # amplitude expression read by read.
+        if config.los_occlusion:
+            ant_pos = self.antenna.position
+            for i in np.nonzero(track.present)[0].tolist():
+                w = int(winners[i])
+                tag = tags[w]
+                extra = occlusion_loss_db(ant_pos, tag.position, track.pose_at(i))
+                loss_db = occl_db + (tag.static_shadow_db + extra)
+                amp_rows[i] = (
+                    a_direct[w] * math.sqrt(db_to_linear(-loss_db))
+                    if loss_db > 0.0
+                    else a_direct[w]
+                )
+
+        # Reflector flutter for all rows at once, from the same draws the
+        # scalar path would have consumed per read.
+        g_re, g_im = self.environment.sample_gammas_rows(z[:, :nz_f])
+
+        # Row-batched channel kernel, grouped by hand presence/template.
+        s_re = np.empty(m)
+        s_im = np.empty(m)
+        detune = np.zeros(m)
+        groups: List[Tuple[np.ndarray, Optional[np.ndarray], Optional[HandPose]]] = []
+        absent = np.nonzero(~track.present)[0]
+        if absent.size:
+            groups.append((absent, None, None))
+        for k, tmpl in enumerate(track.templates):
+            rows = np.nonzero(track.template_idx == k)[0]
+            if rows.size:
+                groups.append((rows, track.xyz[rows], tmpl))
+        for rows, hand_xyz, tmpl in groups:
+            sr, si, dt = engine.backscatter_rows(
+                winners[rows],
+                amp_rows[rows],
+                sqrt_te_rows[rows],
+                g_re[rows],
+                g_im[rows],
+                hand_xyz=hand_xyz,
+                template=tmpl,
+            )
+            s_re[rows] = sr
+            s_im[rows] = si
+            detune[rows] = dt
+
+        # s *= one_way_loss**2 (complex-times-float product expansion).
+        l2 = self._one_way_loss**2
+        sr2 = s_re * l2 - s_im * 0.0
+        si2 = s_re * 0.0 + s_im * l2
+        # s *= cmath.exp(-1j * angle): the exponent's real part is +0.0 and
+        # its imaginary part is -0.0 + (-1.0) * angle (the -1j product
+        # expansion), so the rotation phasor is (cos(im), sin(im)).
+        ang = np.array(trt)[winners] + detune
+        im = -0.0 + (-1.0) * ang
+        rot_c = np.cos(im)
+        rot_s = np.sin(im)
+        fr = sr2 * rot_c - si2 * rot_s
+        fi = sr2 * rot_s + si2 * rot_c
+
+        # Receiver + Doppler: quantisation, AGC impairments, and the
+        # last-read fold are scalar and stateful — one pass in time order.
+        noise = self.noise
+        last = self._last_read
+        wl = config.wavelength
+        phases: List[float] = []
+        rsss: List[float] = []
+        dopps: List[float] = []
+        z0 = z[:, nz_f].tolist()
+        z1 = z[:, nz_f + 1].tolist()
+        z2 = z[:, nz_f + 2].tolist()
+        z3 = z[:, nz_f + 3].tolist()
+        fr_l = fr.tolist()
+        fi_l = fi.tolist()
+        t_l = times.tolist()
+        w_l = winners.tolist()
+        for i in range(m):
+            rss_dbm, phase = noise.observe_with_draws(
+                complex(fr_l[i], fi_l[i]), z0[i], z1[i], z2[i], z3[i]
+            )
+            w = w_l[i]
+            t = t_l[i]
+            doppler = 0.0
+            prev = last.get(w)
+            if prev is not None:
+                t_prev, phase_prev = prev
+                if t > t_prev:
+                    doppler = doppler_estimate_hz(phase, phase_prev, t - t_prev, wl)
+            last[w] = (t, phase)
+            phases.append(phase)
+            rsss.append(rss_dbm)
+            dopps.append(doppler)
+
+        out.extend_columns(
+            times,
+            np.array([tags[w].index for w in w_l], dtype=np.int64),
+            np.array(phases),
+            np.array(rsss),
+            np.array(dopps),
+            [tags[w].epc for w in w_l],
+            antenna_port=config.antenna_port,
+        )
 
     def _record_metrics(self, stats, out: ReportLog, n_before: int) -> None:
         """Fold one collect() window into the global metrics registry.

@@ -6,13 +6,20 @@ low-level user data extension enabled (paper section IV-A): a stream of
 pipeline consumes nothing but this stream, which is what makes the
 simulation substitution faithful: the algorithm cannot tell a simulated
 stream from a captured one.
+
+``ReportLog`` is stored column-wise (struct-of-arrays): one numpy array per
+field, so ``slice_time`` is a pair of ``searchsorted`` calls returning
+array *views* and ``per_tag`` is a boolean-mask split — no per-row Python
+objects are materialized on the hot path.  ``TagReadReport`` remains the
+row type: indexing or iterating a log builds the dataclass lazily, with
+plain Python ``int``/``float`` fields so the record/replay capture format
+(``json.dumps(asdict(report))``) is unchanged.
 """
 
 from __future__ import annotations
 
-import bisect
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -56,101 +63,285 @@ class TagSeries:
         )
 
 
+_EMPTY_F = np.empty(0, dtype=float)
+_EMPTY_I = np.empty(0, dtype=np.int64)
+_EMPTY_O = np.empty(0, dtype=object)
+
+
 class ReportLog:
     """An append-only, time-ordered log of tag read reports.
 
     Provides the two views the pipeline needs: the raw interleaved stream
     (for segmentation, which frames by wall-clock time) and per-tag series
     (for calibration, imaging, and direction estimation).
+
+    Storage is columnar; single-row ``append`` goes to Python staging
+    lists and is consolidated into the numpy columns on first read, so
+    both bulk (``extend_columns``) and row-at-a-time producers stay cheap.
     """
 
+    __slots__ = (
+        "_ts", "_tag", "_phase", "_rss", "_dopp", "_port", "_epc",
+        "_p_ts", "_p_tag", "_p_phase", "_p_rss", "_p_dopp", "_p_port",
+        "_p_epc", "_sorted", "_last_ts",
+    )
+
     def __init__(self, reports: Iterable[TagReadReport] = ()) -> None:
-        self._reports: List[TagReadReport] = []
+        self._ts = _EMPTY_F
+        self._tag = _EMPTY_I
+        self._phase = _EMPTY_F
+        self._rss = _EMPTY_F
+        self._dopp = _EMPTY_F
+        self._port = _EMPTY_I
+        self._epc = _EMPTY_O
+        self._p_ts: List[float] = []
+        self._p_tag: List[int] = []
+        self._p_phase: List[float] = []
+        self._p_rss: List[float] = []
+        self._p_dopp: List[float] = []
+        self._p_port: List[int] = []
+        self._p_epc: List[str] = []
         self._sorted = True
+        self._last_ts: Optional[float] = None
         for r in reports:
             self.append(r)
 
+    # -- producers --------------------------------------------------------
+
     def append(self, report: TagReadReport) -> None:
-        if self._reports and report.timestamp < self._reports[-1].timestamp:
+        t = report.timestamp
+        if self._last_ts is not None and t < self._last_ts:
             self._sorted = False
-        self._reports.append(report)
+        self._last_ts = t
+        self._p_ts.append(t)
+        self._p_tag.append(report.tag_index)
+        self._p_phase.append(report.phase_rad)
+        self._p_rss.append(report.rss_dbm)
+        self._p_dopp.append(report.doppler_hz)
+        self._p_port.append(report.antenna_port)
+        self._p_epc.append(report.epc)
 
     def extend(self, reports: Iterable[TagReadReport]) -> None:
         for r in reports:
             self.append(r)
 
+    def extend_columns(
+        self,
+        timestamps: np.ndarray,
+        tag_indices: np.ndarray,
+        phases: np.ndarray,
+        rss: np.ndarray,
+        doppler: np.ndarray,
+        epcs: Sequence[str],
+        antenna_port: int = 1,
+    ) -> None:
+        """Bulk append a block of reads already held column-wise.
+
+        The block itself may be unsorted; sortedness bookkeeping matches a
+        sequence of single ``append`` calls on the same rows.
+        """
+        ts = np.ascontiguousarray(timestamps, dtype=float)
+        n = ts.size
+        if n == 0:
+            return
+        self._flush()
+        if self._sorted:
+            if self._last_ts is not None and float(ts[0]) < self._last_ts:
+                self._sorted = False
+            elif n > 1 and bool(np.any(np.diff(ts) < 0.0)):
+                self._sorted = False
+        self._last_ts = float(ts[-1])
+        self._ts = np.concatenate([self._ts, ts])
+        self._tag = np.concatenate(
+            [self._tag, np.asarray(tag_indices, dtype=np.int64)])
+        self._phase = np.concatenate(
+            [self._phase, np.asarray(phases, dtype=float)])
+        self._rss = np.concatenate([self._rss, np.asarray(rss, dtype=float)])
+        self._dopp = np.concatenate(
+            [self._dopp, np.asarray(doppler, dtype=float)])
+        self._port = np.concatenate(
+            [self._port, np.full(n, antenna_port, dtype=np.int64)])
+        epc_arr = np.empty(n, dtype=object)
+        epc_arr[:] = list(epcs)
+        self._epc = np.concatenate([self._epc, epc_arr])
+
+    # -- internal ---------------------------------------------------------
+
+    def _flush(self) -> None:
+        """Consolidate staged single-row appends into the columns."""
+        if not self._p_ts:
+            return
+        self._ts = np.concatenate(
+            [self._ts, np.asarray(self._p_ts, dtype=float)])
+        self._tag = np.concatenate(
+            [self._tag, np.asarray(self._p_tag, dtype=np.int64)])
+        self._phase = np.concatenate(
+            [self._phase, np.asarray(self._p_phase, dtype=float)])
+        self._rss = np.concatenate(
+            [self._rss, np.asarray(self._p_rss, dtype=float)])
+        self._dopp = np.concatenate(
+            [self._dopp, np.asarray(self._p_dopp, dtype=float)])
+        self._port = np.concatenate(
+            [self._port, np.asarray(self._p_port, dtype=np.int64)])
+        epc_arr = np.empty(len(self._p_epc), dtype=object)
+        epc_arr[:] = self._p_epc
+        self._epc = np.concatenate([self._epc, epc_arr])
+        self._p_ts = []
+        self._p_tag = []
+        self._p_phase = []
+        self._p_rss = []
+        self._p_dopp = []
+        self._p_port = []
+        self._p_epc = []
+
     def _ensure_sorted(self) -> None:
+        self._flush()
         if not self._sorted:
-            self._reports.sort(key=lambda r: r.timestamp)
+            # Stable sort on timestamp, matching list.sort(key=timestamp).
+            order = np.argsort(self._ts, kind="stable")
+            self._ts = self._ts[order]
+            self._tag = self._tag[order]
+            self._phase = self._phase[order]
+            self._rss = self._rss[order]
+            self._dopp = self._dopp[order]
+            self._port = self._port[order]
+            self._epc = self._epc[order]
             self._sorted = True
 
+    @classmethod
+    def _from_columns(
+        cls,
+        ts: np.ndarray,
+        tag: np.ndarray,
+        phase: np.ndarray,
+        rss: np.ndarray,
+        dopp: np.ndarray,
+        port: np.ndarray,
+        epc: np.ndarray,
+    ) -> "ReportLog":
+        """View-backed log over already-sorted column slices (no copy)."""
+        log = cls()
+        log._ts = ts
+        log._tag = tag
+        log._phase = phase
+        log._rss = rss
+        log._dopp = dopp
+        log._port = port
+        log._epc = epc
+        log._last_ts = float(ts[-1]) if ts.size else None
+        return log
+
+    def _row(self, i: int) -> TagReadReport:
+        return TagReadReport(
+            epc=self._epc[i],
+            tag_index=int(self._tag[i]),
+            timestamp=float(self._ts[i]),
+            phase_rad=float(self._phase[i]),
+            rss_dbm=float(self._rss[i]),
+            doppler_hz=float(self._dopp[i]),
+            antenna_port=int(self._port[i]),
+        )
+
+    # -- consumers --------------------------------------------------------
+
     def __len__(self) -> int:
-        return len(self._reports)
+        return self._ts.size + len(self._p_ts)
 
     def __iter__(self) -> Iterator[TagReadReport]:
         self._ensure_sorted()
-        return iter(self._reports)
+        for i in range(self._ts.size):
+            yield self._row(i)
 
-    def __getitem__(self, i: int) -> TagReadReport:
+    def __getitem__(
+        self, i: Union[int, slice]
+    ) -> Union[TagReadReport, List[TagReadReport]]:
         self._ensure_sorted()
-        return self._reports[i]
+        if isinstance(i, slice):
+            return [self._row(j) for j in range(*i.indices(self._ts.size))]
+        n = self._ts.size
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("report index out of range")
+        return self._row(i)
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """Sorted timestamp column (read-only view for bulk consumers)."""
+        self._ensure_sorted()
+        return self._ts
 
     @property
     def duration(self) -> float:
         """Time span covered by the log (0 for empty/single-read logs)."""
         self._ensure_sorted()
-        if len(self._reports) < 2:
+        if self._ts.size < 2:
             return 0.0
-        return self._reports[-1].timestamp - self._reports[0].timestamp
+        return float(self._ts[-1] - self._ts[0])
 
     @property
     def start_time(self) -> float:
         self._ensure_sorted()
-        if not self._reports:
+        if not self._ts.size:
             raise ValueError("empty report log has no start time")
-        return self._reports[0].timestamp
+        return float(self._ts[0])
 
     @property
     def end_time(self) -> float:
         self._ensure_sorted()
-        if not self._reports:
+        if not self._ts.size:
             raise ValueError("empty report log has no end time")
-        return self._reports[-1].timestamp
+        return float(self._ts[-1])
 
     def tag_indices(self) -> List[int]:
-        return sorted({r.tag_index for r in self._reports})
+        self._flush()
+        return [int(v) for v in np.unique(self._tag)]
 
     def read_count(self, tag_index: int) -> int:
-        return sum(1 for r in self._reports if r.tag_index == tag_index)
+        self._flush()
+        return int(np.count_nonzero(self._tag == tag_index))
 
     def per_tag(self) -> Dict[int, TagSeries]:
-        """Split the log into per-tag numpy series."""
+        """Split the log into per-tag numpy series.
+
+        Keys follow first-appearance order in the time-sorted stream
+        (matching the historical dict-of-buckets construction).
+        """
         self._ensure_sorted()
-        buckets: Dict[int, List[TagReadReport]] = {}
-        for r in self._reports:
-            buckets.setdefault(r.tag_index, []).append(r)
         out: Dict[int, TagSeries] = {}
-        for idx, rows in buckets.items():
+        if not self._ts.size:
+            return out
+        uniq, first = np.unique(self._tag, return_index=True)
+        for k in np.argsort(first, kind="stable"):
+            idx = int(uniq[k])
+            mask = self._tag == idx
             out[idx] = TagSeries(
                 tag_index=idx,
-                epc=rows[0].epc,
-                timestamps=np.array([r.timestamp for r in rows], dtype=float),
-                phases=np.array([r.phase_rad for r in rows], dtype=float),
-                rss=np.array([r.rss_dbm for r in rows], dtype=float),
+                epc=self._epc[int(first[k])],
+                timestamps=self._ts[mask],
+                phases=self._phase[mask],
+                rss=self._rss[mask],
             )
         return out
 
     def slice_time(self, t0: float, t1: float) -> "ReportLog":
-        """New log with reports in [t0, t1)."""
+        """New log with reports in [t0, t1) — a view, not a copy."""
         self._ensure_sorted()
-        keys = [r.timestamp for r in self._reports]
-        lo = bisect.bisect_left(keys, t0)
-        hi = bisect.bisect_left(keys, t1)
-        return ReportLog(self._reports[lo:hi])
+        lo = int(np.searchsorted(self._ts, t0, side="left"))
+        hi = int(np.searchsorted(self._ts, t1, side="left"))
+        return ReportLog._from_columns(
+            self._ts[lo:hi],
+            self._tag[lo:hi],
+            self._phase[lo:hi],
+            self._rss[lo:hi],
+            self._dopp[lo:hi],
+            self._port[lo:hi],
+            self._epc[lo:hi],
+        )
 
     def aggregate_read_rate(self) -> float:
         """Total successful reads per second across all tags."""
         d = self.duration
         if d <= 0.0:
             return 0.0
-        return len(self._reports) / d
+        return len(self) / d

@@ -1,0 +1,103 @@
+"""``WritingScript.pose_at_many`` vs the scalar ``hand_pose_at`` clock.
+
+The batched reader path resolves all of a window's success-slot poses in
+one vectorized call; these tests pin that call to the scalar reference
+*bitwise* — same presence mask, same positions (exact float equality,
+including segment-boundary and degenerate-interpolation rows), same
+template parameters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.motion.script import script_for_letter, script_for_motion
+from repro.motion.strokes import Direction, Motion, StrokeKind
+from repro.physics.hand import PoseTrack
+
+
+def _scripts():
+    rng = np.random.default_rng(21)
+    yield "slash", script_for_motion(Motion(StrokeKind.SLASH, Direction.FORWARD), rng)
+    yield "arc", script_for_motion(Motion(StrokeKind.ARC_D, Direction.REVERSE), rng)
+    yield "letter-T", script_for_letter("T", rng)
+
+
+def _probe_times(script) -> np.ndarray:
+    # Dense sweep beyond both ends, plus every segment boundary (the exact
+    # t0/t1 floats, where first-match segment selection and degenerate
+    # interpolation corners live).
+    times = [np.linspace(-0.05, script.duration + 0.05, 601)]
+    for seg in script.segments:
+        times.append(np.array([seg.t0, seg.t1]))
+    return np.concatenate(times)
+
+
+@pytest.mark.parametrize("name,script", list(_scripts()), ids=lambda v: v if isinstance(v, str) else "")
+def test_pose_at_many_matches_scalar_bitwise(name, script):
+    times = _probe_times(script)
+    track = script.pose_at_many(times)
+    assert track.times.shape == times.shape
+    n_present = 0
+    for i, t in enumerate(times.tolist()):
+        pose = script.hand_pose_at(t)
+        if pose is None:
+            assert not track.present[i]
+            assert track.template_idx[i] == -1
+            continue
+        n_present += 1
+        assert track.present[i]
+        got = track.pose_at(i)
+        # Exact equality — no tolerance: the batched channel consumes
+        # these coordinates and must see the scalar path's bits.
+        assert (got.position.x, got.position.y, got.position.z) == (
+            pose.position.x, pose.position.y, pose.position.z
+        )
+        assert got.arm_direction == pose.arm_direction
+        assert got.arm_length == pose.arm_length
+        assert got.hand_rcs_m2 == pose.hand_rcs_m2
+        assert got.arm_rcs_m2 == pose.arm_rcs_m2
+        assert got.shadow_depth_db == pose.shadow_depth_db
+        assert got.detune_rad == pose.detune_rad
+    assert n_present > 0  # the sweep actually covered writing segments
+
+
+def test_pose_at_many_single_template():
+    _, script = next(_scripts())
+    track = script.pose_at_many(np.linspace(0.0, script.duration, 301))
+    # One parameter template per script: the batched kernel groups all
+    # present rows into a single hand/arm geometry.
+    assert len(track.templates) == 1
+    present_idx = track.template_idx[track.present]
+    assert (present_idx == 0).all()
+
+
+def test_from_poses_matches_pose_at_many():
+    _, script = next(_scripts())
+    times = np.linspace(-0.02, script.duration + 0.02, 257)
+    via_many = script.pose_at_many(times)
+    via_rows = PoseTrack.from_poses(
+        times, [script.hand_pose_at(t) for t in times.tolist()]
+    )
+    assert (via_many.present == via_rows.present).all()
+    assert (via_many.template_idx == via_rows.template_idx).all()
+    p = via_many.present
+    assert (via_many.xyz[p] == via_rows.xyz[p]).all()
+
+
+def test_unsorted_and_duplicate_query_times():
+    _, script = next(_scripts())
+    rng = np.random.default_rng(3)
+    times = rng.uniform(-0.1, script.duration + 0.1, 400)
+    times = np.concatenate([times, times[:50]])  # duplicates, unsorted
+    track = script.pose_at_many(times)
+    for i in rng.integers(0, times.size, 60).tolist():
+        pose = script.hand_pose_at(float(times[i]))
+        if pose is None:
+            assert not track.present[i]
+        else:
+            got = track.pose_at(i)
+            assert (got.position.x, got.position.y, got.position.z) == (
+                pose.position.x, pose.position.y, pose.position.z
+            )

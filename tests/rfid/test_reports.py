@@ -77,3 +77,89 @@ def test_aggregate_read_rate():
 def test_getitem_sorted():
     log = ReportLog([_report(0, 2.0), _report(1, 1.0)])
     assert log[0].timestamp == 1.0
+
+
+# -- columnar-storage property tests ----------------------------------------
+#
+# The log is struct-of-arrays with searchsorted/mask views; these checks pin
+# its behaviour to the historical row-list semantics over randomized data.
+
+
+def _random_log(rng: np.random.Generator, n: int = 200):
+    ts = np.round(rng.uniform(0.0, 10.0, n), 3)
+    tags = rng.integers(0, 6, n).astype(np.int64)
+    phases = rng.uniform(0.0, 6.28, n)
+    rss = rng.uniform(-70.0, -30.0, n)
+    dopp = rng.normal(0.0, 5.0, n)
+    epcs = [f"E-{int(t):04d}" for t in tags]
+    log = ReportLog()
+    half = n // 2
+    # Mixed producers: a bulk columnar block plus row-at-a-time appends.
+    log.extend_columns(ts[:half], tags[:half], phases[:half], rss[:half],
+                       dopp[:half], epcs[:half])
+    for i in range(half, n):
+        log.append(TagReadReport(
+            epc=epcs[i], tag_index=int(tags[i]), timestamp=float(ts[i]),
+            phase_rad=float(phases[i]), rss_dbm=float(rss[i]),
+            doppler_hz=float(dopp[i]),
+        ))
+    rows = [
+        TagReadReport(
+            epc=epcs[i], tag_index=int(tags[i]), timestamp=float(ts[i]),
+            phase_rad=float(phases[i]), rss_dbm=float(rss[i]),
+            doppler_hz=float(dopp[i]),
+        )
+        for i in range(n)
+    ]
+    rows.sort(key=lambda r: r.timestamp)
+    return log, rows
+
+
+def test_mixed_producers_iterate_like_sorted_row_list():
+    rng = np.random.default_rng(0)
+    log, rows = _random_log(rng)
+    assert list(log) == rows
+
+
+def test_slice_time_matches_bruteforce_filter():
+    rng = np.random.default_rng(1)
+    log, rows = _random_log(rng)
+    for _ in range(20):
+        t0, t1 = sorted(rng.uniform(-1.0, 11.0, 2).tolist())
+        got = list(log.slice_time(t0, t1))
+        want = [r for r in rows if t0 <= r.timestamp < t1]
+        assert got == want
+
+
+def test_per_tag_matches_bruteforce_groupby():
+    rng = np.random.default_rng(2)
+    log, rows = _random_log(rng)
+    series = log.per_tag()
+    buckets: dict = {}
+    for r in rows:
+        buckets.setdefault(r.tag_index, []).append(r)
+    # Same keys, in first-appearance order of the time-sorted stream.
+    assert list(series) == list(buckets)
+    for tag, bucket in buckets.items():
+        s = series[tag]
+        assert s.epc == bucket[0].epc
+        assert s.timestamps.tolist() == [r.timestamp for r in bucket]
+        assert s.phases.tolist() == [r.phase_rad for r in bucket]
+        assert s.rss.tolist() == [r.rss_dbm for r in bucket]
+
+
+def test_slice_time_returns_views_not_copies():
+    log = ReportLog([_report(0, float(t)) for t in range(8)])
+    window = log.slice_time(2.0, 6.0)
+    assert np.shares_memory(window.timestamps, log.timestamps)
+
+
+def test_stable_order_for_equal_timestamps():
+    # Ties must keep producer order (stable sort), like list.sort did.
+    log = ReportLog()
+    log.append(_report(3, 1.0, phase=0.1))
+    log.append(_report(1, 0.5))
+    log.append(_report(4, 1.0, phase=0.2))
+    assert [(r.tag_index, r.phase_rad) for r in log] == [
+        (1, 1.0), (3, 0.1), (4, 0.2)
+    ]
