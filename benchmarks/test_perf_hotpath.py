@@ -107,6 +107,33 @@ def _stage_p95() -> Dict[str, float]:
     return {path: round(stats["p95_s"] * 1e3, 4) for path, stats in agg.items()}
 
 
+def _stream_event_p95_ms() -> "float | None":
+    """p95 stroke-event latency of one streamed letter session, in ms.
+
+    Latency is measured in *stream time* (newest read seen at emission
+    minus window close), so it captures the segmenter's decision lag —
+    lookahead windows + merge-gap settling — not host speed.
+    """
+    from repro.obs.metrics import get_metrics
+    from repro.sim.live import LiveDriver
+
+    metrics = get_metrics()
+    was_enabled = metrics.enabled
+    metrics.reset()
+    metrics.enable()
+    try:
+        runner = SessionRunner(
+            build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
+        )
+        LiveDriver(runner, chunk_s=0.1).run_letter("T")
+        p95 = metrics.histogram("stream.event_latency_s").percentile(95.0)
+        return None if p95 is None else round(p95 * 1e3, 4)
+    finally:
+        metrics.reset()
+        if not was_enabled:
+            metrics.disable()
+
+
 def _parallel_trials_per_s(rounds: int) -> "float | None":
     if SMOKE:
         return None
@@ -185,6 +212,7 @@ def test_hotpath_benchmark():
         "slots_per_s": round(engine["slots"] / engine["wall_s"], 1),
         "trials_per_s": round(engine["trials"] / engine["wall_s"], 2),
         "reader_collect_p95_ms": stage_p95_ms.get("trial.motion/reader.collect"),
+        "stream_event_p95_ms": _stream_event_p95_ms(),
         "parallel_trials_per_s_workers2": None
         if parallel_tps is None
         else round(parallel_tps, 2),

@@ -3,17 +3,25 @@
 
 The other examples run sessions batch-style.  Here the report stream is
 consumed *incrementally*, the way the paper's C# frontend does: reports
-arrive as the reader produces them, the segmenter is polled periodically,
-and each stroke is classified as soon as its window closes — including
-the live prefix narrowing of the tree grammar ("these strokes so far can
-still become H, K, N, ...").
+arrive in 100 ms batches, a :class:`repro.StreamingSession` ingests each
+batch, and every stroke is classified the moment its window closes —
+including the live prefix narrowing of the tree grammar ("these strokes
+so far can still become H, K, N, ...").  The session retains only a
+bounded tail of the stream, and its output is bit-identical to running
+the batch pipeline on the whole log (DESIGN.md §11).
 
 Run:  python examples/realtime_stream.py
 """
 
-from repro import ScenarioConfig, SessionRunner, build_scenario
+from repro import (
+    ScenarioConfig,
+    SessionRunner,
+    StreamingSession,
+    StrokeEvent,
+    build_scenario,
+)
 from repro.motion.script import script_for_letter
-from repro.rfid.reports import ReportLog
+from repro.sim import iter_chunks
 
 
 def main() -> None:
@@ -21,43 +29,35 @@ def main() -> None:
     pad = runner.pad
     letter = "E"
     script = script_for_letter(letter, runner.rng)
-    full_log = runner.run_script(script)
+    log = runner.run_script(script)
 
-    print(f"user writes {letter!r}; consuming the report stream in 0.3 s ticks\n")
+    print(f"user writes {letter!r}; ingesting the report stream "
+          f"in 100 ms chunks\n")
 
-    live = ReportLog()
-    reported = 0  # strokes already emitted
-    strokes = []
-    tick = 0.3
-    t = 0.0
-    pending = list(full_log)
-    i = 0
-    while i < len(pending) or t < script.duration:
-        t += tick
-        while i < len(pending) and pending[i].timestamp <= t:
-            live.append(pending[i])
-            i += 1
-        if len(live) < 50:
-            continue
-        windows = pad.segment(live)
-        # Emit strokes whose windows closed at least 0.3 s ago (debounce).
-        closed = [w for w in windows if w.t1 < t - 0.3]
-        while reported < len(closed):
-            w = closed[reported]
-            obs = pad.analyze_window(live, w.t0, w.t1)
-            reported += 1
-            if obs is None:
-                continue
-            strokes.append(obs)
-            prefix = tuple(s.token for s in strokes)
-            candidates = pad.grammar.candidates_for_prefix(prefix)
-            print(f"t={t:4.1f}s  stroke #{len(strokes)}: {obs.label:4s} "
-                  f"({obs.token}); still possible: "
-                  f"{''.join(candidates) if candidates else '(soft matching)'}")
+    session = StreamingSession(pad)
+    tokens = []
 
-    result = pad.grammar.recognize(strokes, windows)
+    def show(event) -> None:
+        if not isinstance(event, StrokeEvent) or event.stroke is None:
+            return
+        obs = event.stroke
+        tokens.append(obs.token)
+        candidates = pad.grammar.candidates_for_prefix(tuple(tokens))
+        print(f"t={event.emitted_at:4.1f}s  stroke #{len(tokens)}: "
+              f"{obs.label:4s} ({obs.token}); still possible: "
+              f"{''.join(candidates) if candidates else '(soft matching)'}  "
+              f"[{session.buffered_reads} reads buffered]")
+
+    for chunk in iter_chunks(log, 0.1):
+        for event in session.ingest(chunk):
+            show(event)
+    for event in session.finalize():
+        show(event)
+
+    result = session.letter_result
     print(f"\nfinal: {result.letter!r} "
           f"(candidates {[(l, round(s, 2)) for l, s in result.candidates[:3]]})")
+    print(f"retained {session.buffered_reads} of {len(log)} reads at finish")
 
 
 if __name__ == "__main__":

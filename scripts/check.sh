@@ -25,7 +25,37 @@ for stage in unwrap suppression imaging otsu classify direction segmentation gra
         exit 1
     fi
 done
+# The streaming leg of the battery must surface the stream layer's spans.
+for span in stream.chunk stream.finalize; do
+    if ! grep -q "$span" /tmp/repro-stats-smoke.$$; then
+        rm -f /tmp/repro-stats-smoke.$$
+        echo "stats output is missing the '$span' span" >&2
+        exit 1
+    fi
+done
 rm -f /tmp/repro-stats-smoke.$$
+echo "ok"
+
+echo "== replay --stream (streaming smoke test) =="
+# Record a letter capture, replay it chunk-by-chunk through the streaming
+# session, and check stroke events plus the final letter come out.
+capture=/tmp/repro-stream-smoke.$$.jsonl
+python -m repro record "$capture" --letter T > /dev/null
+python -m repro replay "$capture" --stream > /tmp/repro-stream-smoke.$$ 2>&1 || {
+    cat /tmp/repro-stream-smoke.$$
+    rm -f /tmp/repro-stream-smoke.$$ "$capture" "$capture.calibration"
+    echo "repro replay --stream failed" >&2
+    exit 1
+}
+for needle in "stroke window" "letter: 'T'"; do
+    if ! grep -q "$needle" /tmp/repro-stream-smoke.$$; then
+        cat /tmp/repro-stream-smoke.$$
+        rm -f /tmp/repro-stream-smoke.$$ "$capture" "$capture.calibration"
+        echo "replay --stream output is missing $needle" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/repro-stream-smoke.$$ "$capture" "$capture.calibration"
 echo "ok"
 
 echo "== hot-path benchmark (smoke mode, with regression floor) =="

@@ -47,6 +47,7 @@ from .sim import (
     score_motion_trials,
     score_segmentation,
 )
+from .stream import LetterEvent, StreamEvent, StreamingSession, StrokeEvent
 
 __version__ = "1.0.0"
 
@@ -54,6 +55,7 @@ __all__ = [
     "ALPHABET",
     "Direction",
     "GridLayout",
+    "LetterEvent",
     "LetterResult",
     "Motion",
     "RFIPad",
@@ -64,6 +66,9 @@ __all__ = [
     "ScenarioConfig",
     "SessionRunner",
     "StaticCalibration",
+    "StreamEvent",
+    "StreamingSession",
+    "StrokeEvent",
     "StrokeKind",
     "StrokeObservation",
     "TagReadReport",

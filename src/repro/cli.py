@@ -9,7 +9,10 @@ Commands
 ``demo word <WORD>``   write a word (letters clustered by pauses)
 ``inspect``            dump the signal views of a single-motion session
 ``record <path>``      simulate a session and save its report stream (JSONL)
-``replay <path>``      run the pipeline on a saved capture
+``replay <path>``      run the pipeline on a saved capture (``--stream`` feeds
+                       it chunk-by-chunk through a ``StreamingSession``)
+``live``               simulate a session and stream it, printing events as
+                       stroke windows close
 ``stats``              run a standard battery with tracing + metrics on
 
 Global observability flags: ``--trace-out PATH`` records every span of the
@@ -168,6 +171,42 @@ def cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_stream_events(events) -> None:
+    from .stream import StrokeEvent
+
+    for ev in events:
+        if isinstance(ev, StrokeEvent):
+            w = ev.window
+            label = ev.stroke.label if ev.stroke is not None else "(no stroke)"
+            print(f"[{ev.emitted_at:7.3f}s] stroke window "
+                  f"{w.t0:.3f}-{w.t1:.3f}s -> {label}")
+        else:
+            print(f"[{ev.emitted_at:7.3f}s] letter: {ev.result.letter!r} "
+                  f"(tokens {ev.result.stroke_tokens})")
+
+
+def cmd_live(args: argparse.Namespace) -> int:
+    from .sim.live import stream_log
+    from .stream import StreamingSession
+
+    runner = _make_runner(args)
+    if args.letter:
+        script = script_for_letter(args.letter, runner.rng)
+        truth = args.letter
+    else:
+        kind = StrokeKind[args.stroke.upper()]
+        script = script_for_motion(Motion(kind), runner.rng)
+        truth = kind.name
+    log = runner.run_script(script)
+    print(f"streaming {len(log)} reads in {args.chunk * 1000:.0f} ms chunks "
+          f"(truth {truth!r})")
+    session = StreamingSession(runner.pad)
+    for ev in stream_log(runner.pad, log, args.chunk, session=session):
+        _print_stream_events([ev])
+    print(f"retained {session.buffered_reads} of {len(log)} reads at finish")
+    return 0
+
+
 def cmd_replay(args: argparse.Namespace) -> int:
     from .core.pipeline import RFIPad
     from .physics.geometry import GridLayout
@@ -190,6 +229,18 @@ def cmd_replay(args: argparse.Namespace) -> int:
     pad = RFIPad(GridLayout(rows=args.rows, cols=args.cols))
     pad.calibrate_from(load_log(static_path))
     print(f"replaying {args.path}: {len(log)} reads, metadata {meta}")
+    if args.stream:
+        from .sim.live import stream_log
+        from .stream import StreamingSession
+
+        session = StreamingSession(pad)
+        for ev in stream_log(pad, log, args.chunk, session=session):
+            _print_stream_events([ev])
+        result = session.letter_result
+        if result.letter is None and len(result.strokes) <= 1:
+            obs = session.motion_result()
+            print(f"motion: {obs.label if obs else '(nothing)'}")
+        return 0
     result = pad.recognize_letter(log)
     if result.letter is not None or len(result.strokes) > 1:
         print(f"letter: {result.letter!r} (tokens {result.stroke_tokens})")
@@ -213,6 +264,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
     # One letter session exercises the letter path: multi-stroke
     # segmentation plus the tree-grammar composition stage.
     runner.run_letter("T")
+    # And one streamed session exercises the online layer, so the
+    # stream.* spans and the event-latency histogram show up below.
+    from .sim.live import LiveDriver
+
+    LiveDriver(runner, chunk_s=0.1).run_letter("H")
 
     print("== span tree (count / total / mean / p95 per path) ==")
     print(tracer.render_tree())
@@ -286,6 +342,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("path")
     p_replay.add_argument("--rows", type=int, default=5)
     p_replay.add_argument("--cols", type=int, default=5)
+    p_replay.add_argument(
+        "--stream", action="store_true",
+        help="feed the capture chunk-by-chunk through a StreamingSession, "
+             "printing events as stroke windows close",
+    )
+    p_replay.add_argument(
+        "--chunk", type=float, default=0.1,
+        help="streaming chunk length in seconds (default 0.1)",
+    )
+
+    p_live = sub.add_parser(
+        "live",
+        help="simulate a session and stream it chunk-by-chunk, printing "
+             "stroke/letter events as they fire",
+    )
+    p_live.add_argument("--letter", default="", help="stream a letter session")
+    p_live.add_argument(
+        "--stroke", default="vbar",
+        choices=[k.name.lower() for k in StrokeKind],
+    )
+    p_live.add_argument(
+        "--chunk", type=float, default=0.1,
+        help="chunk length in seconds (default 0.1)",
+    )
 
     p_stats = sub.add_parser(
         "stats",
@@ -317,6 +397,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_record(args)
     if args.command == "replay":
         return cmd_replay(args)
+    if args.command == "live":
+        return cmd_live(args)
     if args.command == "stats":
         return cmd_stats(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -50,10 +50,26 @@ from .otsu import between_class_variance, binarize, binarize_fixed, otsu_thresho
 from .pipeline import RFIPad, RFIPadConfig
 from .segmentation import (
     SegmentationConfig,
+    StreamSegmenter,
     auto_threshold,
+    causal_gates,
     frame_rms,
     segment_strokes,
     window_std,
+)
+from .stages import (
+    ClassifyStage,
+    DirectionStage,
+    GrammarStage,
+    ImagingStage,
+    OtsuStage,
+    SegmentationStage,
+    Stage,
+    StageContext,
+    StageSet,
+    SuppressionStage,
+    WindowAnalyzer,
+    widest_window,
 )
 from .suppression import SuppressionResult, accumulative_differences, disturbance_score
 from .unwrap import fold_to_pi, largest_jump, total_variation, unwrap, unwrap_residual
@@ -61,7 +77,19 @@ from .unwrap import fold_to_pi, largest_jump, total_variation, unwrap, unwrap_re
 __all__ = [
     "BinaryMap",
     "ClassifierConfig",
+    "ClassifyStage",
     "DirectionConfig",
+    "DirectionStage",
+    "GrammarStage",
+    "ImagingStage",
+    "OtsuStage",
+    "SegmentationStage",
+    "Stage",
+    "StageContext",
+    "StageSet",
+    "StreamSegmenter",
+    "SuppressionStage",
+    "WindowAnalyzer",
     "GrammarNode",
     "GreyMap",
     "HolisticRecognizer",
@@ -90,6 +118,7 @@ __all__ = [
     "binarize",
     "binarize_fixed",
     "calibrate",
+    "causal_gates",
     "circular_mean",
     "circular_std",
     "classify_shape",
@@ -117,5 +146,6 @@ __all__ = [
     "total_variation",
     "unwrap",
     "unwrap_residual",
+    "widest_window",
     "window_std",
 ]

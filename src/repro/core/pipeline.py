@@ -8,6 +8,11 @@ the stage configs, and exposes the two entry points the paper evaluates:
 * :meth:`RFIPad.recognize_letter` — segmentation + per-stroke recognition
   + tree-grammar composition over a whole writing session (Figs. 22-23).
 
+Since the stage decomposition (DESIGN.md §11) both methods are thin
+drivers over :class:`repro.core.stages.StageSet`; the same stage objects
+power the incremental :class:`repro.stream.StreamingSession`, which is
+what guarantees streamed and batch results cannot drift.
+
 No training is involved anywhere — matching the paper's "no training
 period" claim, every stage is closed-form signal processing over the
 calibration capture.
@@ -15,28 +20,20 @@ calibration capture.
 
 from __future__ import annotations
 
-import warnings
+import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from ..obs.trace import Tracer, get_tracer
+from ..obs.trace import get_tracer
 from ..physics.geometry import GridLayout
 from ..rfid.reports import ReportLog
 from .calibration import StaticCalibration, calibrate
-from .classifier import ClassifierConfig, classify_shape
-from .direction import (
-    DirectionConfig,
-    detect_troughs,
-    estimate_direction,
-    passage_order,
-    trough_path,
-)
+from .classifier import ClassifierConfig
+from .direction import DirectionConfig
 from .events import LetterResult, SegmentedWindow, StrokeObservation
 from .grammar import TreeGrammar
-from .imaging import render_grey_map
-from .otsu import binarize
-from .segmentation import SegmentationConfig, auto_threshold, segment_strokes
-from .suppression import accumulative_differences
+from .segmentation import SegmentationConfig, auto_threshold
+from .stages import StageContext, StageSet, widest_window
 
 
 @dataclass
@@ -70,15 +67,38 @@ class RFIPad:
         self.grammar = grammar if grammar is not None else TreeGrammar()
 
     # ------------------------------------------------------------------
+    # Stage access
+    # ------------------------------------------------------------------
+
+    @property
+    def stages(self) -> StageSet:
+        """The stage objects the current config describes.
+
+        Rebuilt on access: stages are cheap frozen dataclasses, and
+        rebuilding keeps them honest against config mutation (e.g.
+        :meth:`calibrate_from` retuning the segmentation config).
+        """
+        return StageSet.from_config(self.config, self.grammar)
+
+    def stage_context(self) -> StageContext:
+        """Layout + calibration bundle the stages read; raises uncalibrated."""
+        return StageContext(self.layout, self._require_calibration())
+
+    # ------------------------------------------------------------------
     # Calibration
     # ------------------------------------------------------------------
 
-    def calibrate_from(self, static_log: ReportLog, tune_segmentation: bool = True) -> None:
-        """Ingest a no-hand capture: per-tag statistics + threshold tuning."""
+    def calibrate_from(
+        self, static_log: ReportLog, tune_segmentation: bool = True
+    ) -> SegmentationConfig:
+        """Ingest a no-hand capture: per-tag statistics + threshold tuning.
+
+        Returns the segmentation config now in force (retuned when
+        ``tune_segmentation`` is set) so callers can log the auto-threshold
+        the deployment ended up with.
+        """
         self.calibration = calibrate(static_log)
         if tune_segmentation:
-            import dataclasses
-
             old = self.config.segmentation
             threshold = auto_threshold(static_log, self.calibration, old)
             # noise_floor: safely above idle flutter (the auto threshold is
@@ -87,6 +107,7 @@ class RFIPad:
             self.config.segmentation = dataclasses.replace(
                 old, threshold=threshold, noise_floor=noise_floor
             )
+        return self.config.segmentation
 
     def _require_calibration(self) -> StaticCalibration:
         if self.calibration is None:
@@ -107,66 +128,7 @@ class RFIPad:
         Returns ``None`` when the window contains no classifiable
         disturbance (empty OTSU foreground).
         """
-        cal = self._require_calibration()
-        tracer = get_tracer()
-        with tracer.span("analyze_window"):
-            # Stage spans mirror the paper's stage order (DESIGN.md §obs):
-            # suppression/unwrap = Eq. 8-10, imaging + otsu = grey map and
-            # binarisation, direction = RSS trough ordering (III-B),
-            # classify = shape decision.
-            with tracer.span("suppression") as sp:
-                supp = accumulative_differences(
-                    log, cal, t0, t1, bias_weighting=self.config.bias_weighting
-                )
-                sp.set(tags=len(supp.suppressed),
-                       reads=sum(supp.read_counts.values()))
-            values = supp.suppressed if self.config.diversity_suppression else supp.raw
-            with tracer.span("imaging"):
-                grey = render_grey_map(values, self.layout)
-            with tracer.span("otsu") as sp:
-                binary = binarize(grey)
-                sp.set(foreground=binary.foreground_count())
-            # Troughs are detected over *all* calibrated tags, not just OTSU
-            # foreground: with very short strokes OTSU can keep only the single
-            # deepest cell, and restricting would then drop the real troughs
-            # that trace the rest of the pass.  The `direction` span covers
-            # trough detection + path ordering — the stage's dominant cost;
-            # the final FORWARD/REVERSE vote below is a handful of flops on
-            # <= rows*cols troughs and rides inside the enclosing span.
-            with tracer.span("direction") as sp:
-                troughs = detect_troughs(log, cal, t0, t1, self.config.direction)
-                path = trough_path(troughs, self.layout, self.config.direction)
-                sp.set(troughs=len(troughs))
-            win_lo = t0 if t0 is not None else (log.start_time if len(log) else 0.0)
-            win_hi = t1 if t1 is not None else (log.end_time if len(log) else 0.0)
-            with tracer.span("classify") as sp:
-                decision = classify_shape(
-                    grey, binary, self.config.classifier, path,
-                    window_s=max(0.0, win_hi - win_lo),
-                )
-                sp.set(kind=decision.kind.name if decision is not None else None)
-            if decision is None:
-                return None
-
-            direction, dir_confidence = estimate_direction(
-                decision.kind, troughs, self.layout, decision.opening, self.config.direction
-            )
-
-            win_t0, win_t1 = win_lo, win_hi
-            return StrokeObservation(
-                kind=decision.kind,
-                direction=direction,
-                token=decision.token,
-                t0=win_t0,
-                t1=win_t1,
-                confidence=min(decision.confidence, 0.5 + 0.5 * dir_confidence),
-                opening=decision.opening,
-                features=decision.features,
-                grey=grey,
-                binary=binary,
-                trough_order=passage_order(troughs),
-                line_angle_deg=decision.line_angle_deg,
-            )
+        return self.stages.analyzer.analyze(self.stage_context(), log, t0, t1)
 
     def detect_motion(self, log: ReportLog) -> Optional[StrokeObservation]:
         """One-shot motion detection for a single-motion session.
@@ -175,17 +137,16 @@ class RFIPad:
         dilute the image; falls back to whole-log analysis when the
         segmenter finds nothing (e.g. very gentle motions).
         """
-        cal = self._require_calibration()
+        ctx = self.stage_context()
+        stages = self.stages
         tracer = get_tracer()
         with tracer.span("detect_motion", reads=len(log)) as root:
-            with tracer.span("segmentation") as sp:
-                windows = segment_strokes(log, cal, self.config.segmentation)
-                sp.set(windows=len(windows))
+            windows = stages.segmentation.run(ctx, log)
             if windows:
-                widest = max(windows, key=lambda w: w.duration)
-                obs = self.analyze_window(log, widest.t0, widest.t1)
+                widest = widest_window(windows)
+                obs = stages.analyzer.analyze(ctx, log, widest.t0, widest.t1)
             else:
-                obs = self.analyze_window(log)
+                obs = stages.analyzer.analyze(ctx, log)
             root.set(kind=obs.kind.name if obs is not None else None)
             return obs
 
@@ -194,50 +155,20 @@ class RFIPad:
     # ------------------------------------------------------------------
 
     def segment(self, log: ReportLog) -> List[SegmentedWindow]:
-        cal = self._require_calibration()
-        with get_tracer().span("segmentation") as sp:
-            windows = segment_strokes(log, cal, self.config.segmentation)
-            sp.set(windows=len(windows))
-            return windows
+        return self.stages.segmentation.run(self.stage_context(), log)
 
     def recognize_letter(self, log: ReportLog) -> LetterResult:
         """Full letter pipeline: segment, classify each stroke, compose."""
+        ctx = self.stage_context()
+        stages = self.stages
         tracer = get_tracer()
         with tracer.span("recognize_letter", reads=len(log)) as root:
-            windows = self.segment(log)
+            windows = stages.segmentation.run(ctx, log)
             strokes: List[StrokeObservation] = []
             for w in windows:
-                obs = self.analyze_window(log, w.t0, w.t1)
+                obs = stages.analyzer.analyze(ctx, log, w.t0, w.t1)
                 if obs is not None:
                     strokes.append(obs)
-            with tracer.span("grammar") as sp:
-                result = self.grammar.recognize(strokes, windows)
-                sp.set(strokes=len(strokes), letter=result.letter)
+            result = stages.grammar.run(strokes, windows)
             root.set(letter=result.letter)
             return result
-
-    # ------------------------------------------------------------------
-    # Latency instrumentation (Fig. 24)
-    # ------------------------------------------------------------------
-
-    def timed_detect_motion(
-        self, log: ReportLog
-    ) -> Tuple[Optional[StrokeObservation], float]:
-        """Deprecated shim: detect a motion and report the compute latency.
-
-        Superseded by tracer spans (``repro.obs.trace``): enable the global
-        tracer and read the ``detect_motion`` span, which also carries the
-        per-stage breakdown.  Kept as a thin wrapper for older callers; the
-        latency is measured through a private always-on tracer so it keeps
-        working with global observability off.
-        """
-        warnings.warn(
-            "timed_detect_motion is deprecated; enable repro.obs.trace.get_tracer() "
-            "and read the 'detect_motion' span instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        shim = Tracer(enabled=True)
-        with shim.span("timed_detect_motion"):
-            result = self.detect_motion(log)
-        return result, shim.finished[-1].duration

@@ -15,20 +15,27 @@ paper's detector:
 ``thre`` is "empirically determined" in the paper; we provide
 :func:`auto_threshold`, which calibrates it from a static capture so the
 detector adapts to the deployment's noise level.
+
+The detector is **causal**: the gate at window ``i`` depends only on
+windows ``0..i`` (a running peak of the window stds, clamped between
+``noise_floor`` and ``threshold``).  Causality is what lets
+:class:`StreamSegmenter` — the incremental, bounded-memory twin of
+:func:`segment_strokes` — emit exactly the same windows from any chunking
+of the same stream, which the property tests under ``tests/stream/``
+enforce bit-for-bit.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..rfid.reports import ReportLog
 from .calibration import StaticCalibration
 from .events import SegmentedWindow
-from .otsu import otsu_threshold
 from .unwrap import fold_to_pi_many
 
 
@@ -39,9 +46,11 @@ class SegmentationConfig:
     threshold: float = 0.5         # std(rms) gate; see auto_threshold
     #: Hard lower bound on the effective gate, calibrated from the static
     #: noise level.  The gate adapts *down* towards 0.25x the session's
-    #: peak std(rms) — strong strokes plateau and their windows' std dips,
-    #: so a fixed high gate would punch holes mid-stroke — but never below
-    #: this floor, so a hand-free log still yields zero windows.
+    #: running peak std(rms) — strong strokes plateau and their windows'
+    #: std dips, so a fixed high gate would punch holes mid-stroke — but
+    #: never below this floor, so a hand-free log still yields zero
+    #: windows.  The peak is a *prefix* (causal) maximum, so a window's
+    #: activity never depends on later signal.
     noise_floor: float = 0.05
     min_stroke_s: float = 0.22     # discard blips shorter than this
     merge_gap_s: float = 0.12      # bridge dips inside one stroke
@@ -116,6 +125,20 @@ def window_std(rms: np.ndarray, window_frames: int) -> np.ndarray:
     return out
 
 
+def causal_gates(stds: np.ndarray, config: SegmentationConfig) -> np.ndarray:
+    """Per-window activity gate from the *prefix* peak of the window stds.
+
+    ``gate[i] = clamp(0.25 * max(stds[:i+1]), noise_floor, threshold)`` —
+    the same adaptive-down behaviour as a global-peak gate once the stroke's
+    peak has been seen, but computable online (the running max is exact in
+    floating point, so the batch and streaming paths agree bitwise).
+    """
+    if stds.size == 0:
+        return stds.astype(float)
+    peaks = np.maximum.accumulate(stds)
+    return np.maximum(config.noise_floor, np.minimum(config.threshold, 0.25 * peaks))
+
+
 def segment_strokes(
     log: ReportLog,
     calibration: StaticCalibration,
@@ -126,9 +149,7 @@ def segment_strokes(
     if rms.size == 0:
         return []
     stds = window_std(rms, config.window_frames)
-    peak = float(np.percentile(stds, 98.0)) if stds.size else 0.0
-    gate = max(config.noise_floor, min(config.threshold, 0.25 * peak))
-    active = stds > gate
+    active = stds > causal_gates(stds, config)
 
     # An active window marks its *centre* frame.  Marking the whole span
     # would let windows that straddle a stroke edge paint the neighbouring
@@ -160,6 +181,44 @@ def segment_strokes(
     return [s for s in segments if s.duration >= config.min_stroke_s]
 
 
+def valley_pieces(chunk: np.ndarray, config: SegmentationConfig) -> List[Tuple[int, int]]:
+    """Sub-ranges of a segment's RMS chunk after valley splitting.
+
+    Returns ``[(a, b), ...]`` index ranges into ``chunk``; a single piece
+    spanning the whole chunk means "no split".  Shared by the batch
+    :func:`segment_strokes` and the incremental :class:`StreamSegmenter` so
+    the two paths cannot drift.
+    """
+    if chunk.size < 6:
+        return [(0, int(chunk.size))]
+    # Two-term gate: the median alone underestimates the stroke level
+    # when a long adjustment period is fused into the segment (it drags
+    # the median down), so the 75th percentile — dominated by genuine
+    # stroke frames — provides the backstop.
+    gate = max(
+        config.valley_fraction * float(np.median(chunk)),
+        0.3 * float(np.percentile(chunk, 75.0)),
+    )
+    quiet = chunk < gate
+    # Find sustained quiet runs strictly inside the segment.
+    pieces: List[Tuple[int, int]] = []
+    start = 0
+    i = 1
+    while i < chunk.size:
+        if quiet[i] and i + 1 < chunk.size and quiet[i + 1]:
+            j = i
+            while j < chunk.size and quiet[j]:
+                j += 1
+            if i > start:
+                pieces.append((start, i))
+            start = j
+            i = j + 1
+        else:
+            i += 1
+    pieces.append((start, int(chunk.size)))
+    return pieces
+
+
 def _split_valleys(
     segments: List[SegmentedWindow],
     times: np.ndarray,
@@ -178,35 +237,7 @@ def _split_valleys(
     for seg in segments:
         lo = int(np.searchsorted(times, seg.t0 - 1e-9))
         hi = int(np.searchsorted(times, seg.t1 - 1e-9))
-        chunk = rms[lo:hi]
-        if chunk.size < 6:
-            out.append(seg)
-            continue
-        # Two-term gate: the median alone underestimates the stroke level
-        # when a long adjustment period is fused into the segment (it drags
-        # the median down), so the 75th percentile — dominated by genuine
-        # stroke frames — provides the backstop.
-        gate = max(
-            config.valley_fraction * float(np.median(chunk)),
-            0.3 * float(np.percentile(chunk, 75.0)),
-        )
-        quiet = chunk < gate
-        # Find sustained quiet runs strictly inside the segment.
-        pieces: List[Tuple[int, int]] = []
-        start = 0
-        i = 1
-        while i < chunk.size:
-            if quiet[i] and i + 1 < chunk.size and quiet[i + 1]:
-                j = i
-                while j < chunk.size and quiet[j]:
-                    j += 1
-                if i > start:
-                    pieces.append((start, i))
-                start = j
-                i = j + 1
-            else:
-                i += 1
-        pieces.append((start, chunk.size))
+        pieces = valley_pieces(rms[lo:hi], config)
         if len(pieces) == 1:
             out.append(seg)
             continue
@@ -259,3 +290,355 @@ def auto_threshold(
     # noise floor by `factor` would push the gate into genuine stroke
     # territory and truncate windows; stroke std(rms) starts well above 1.
     return min(cap, max(floor, factor * reference))
+
+
+# ----------------------------------------------------------------------
+# Incremental segmentation
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """A closed segment still eligible to merge with a successor."""
+
+    lo: int                         # first frame index (inclusive)
+    hi: int                         # one past the last frame index
+    runs: List[Tuple[int, int]]     # constituent raw runs (for the peak)
+
+
+class StreamSegmenter:
+    """Incremental, bounded-memory twin of :func:`segment_strokes`.
+
+    Feed time-ordered read columns with :meth:`ingest`; closed stroke
+    windows come back as soon as they are decided.  Call :meth:`finalize`
+    once the stream ends to flush the tail.  For any chunking of a log —
+    including one read at a time — the concatenation of all returned
+    windows is **bit-identical** to ``segment_strokes`` on the whole log
+    (same ``t0``/``t1``/``peak_std_rms`` floats, same order); the property
+    tests under ``tests/stream/`` enforce this.
+
+    How the equivalence is kept exact:
+
+    * frames accumulate per-(frame, tag) squared residuals read-by-read —
+      the same sequential order ``np.bincount`` uses — and a frame's RMS
+      sums its tags in global first-appearance order, matching
+      ``ReportLog.per_tag``;
+    * a frame closes only when no future read can land in it; the batch
+      path's end-of-log clamp (a read exactly on the final frame boundary
+      folds into the last frame) is replayed at :meth:`finalize`;
+    * the activity gate is the causal prefix-peak of :func:`causal_gates`,
+      so a window's verdict never depends on later signal;
+    * merge/valley-split/min-duration post-processing is deferred until no
+      future frame can change it (the merge gap and the window lookahead
+      bound the wait to a few frames).
+
+    Memory is bounded by the *retention horizon*: everything before
+    ``retention_frame()`` — frames, stds, and (for the owning session) raw
+    reads — can be discarded.  The horizon trails the newest read by the
+    window lookahead plus the currently-open segment, so it is O(longest
+    stroke), not O(session).
+    """
+
+    def __init__(
+        self,
+        calibration: StaticCalibration,
+        config: SegmentationConfig = SegmentationConfig(),
+    ) -> None:
+        self.calibration = calibration
+        self.config = config
+        # -- frame accumulation state --
+        self._t_start: Optional[float] = None
+        self._t_max: Optional[float] = None
+        # open frames: raw frame index -> {tag: [squared residuals, read order]}
+        self._open: Dict[int, Dict[int, List[float]]] = {}
+        self._appearance: Dict[int, int] = {}   # tag -> global first-seen rank
+        self._closed_frames = 0                 # frames 0.._closed_frames-1 have RMS
+        # -- rms / std rings (absolute frame index = ring index + _base) --
+        self._base = 0
+        self._rms: List[float] = []
+        self._stds: List[float] = []
+        self._next_window = 0                   # next window index to compute
+        self._peak = 0.0                        # running max of window stds
+        self._active: List[bool] = []           # per-window verdicts (ring-aligned)
+        # -- decided-frame run state --
+        self._decided = 0                       # frames 0.._decided-1 have verdicts
+        self._run: Optional[Tuple[int, int]] = None   # open active run [lo, hi)
+        self._pending: Optional[_Pending] = None
+        self._flush_queue: List[_Pending] = []  # promoted segments awaiting emission
+        self._finalized = False
+
+    # -- geometry ------------------------------------------------------
+
+    def frame_time(self, index: int) -> float:
+        """Start time of frame ``index`` (bit-identical to the batch grid)."""
+        if self._t_start is None:
+            raise ValueError("no reads ingested yet")
+        return self._t_start + self.config.frame_s * float(index)
+
+    def retention_frame(self) -> int:
+        """First frame index still needed by any future decision.
+
+        Reads, RMS values, and stds for frames before this index can never
+        influence a future window, so callers may drop them.
+        """
+        candidates = [self._decided, self._next_window]
+        if self._run is not None:
+            candidates.append(self._run[0])
+        if self._pending is not None:
+            candidates.append(self._pending.lo)
+        return min(candidates)
+
+    def retention_time(self) -> Optional[float]:
+        """Timestamp horizon corresponding to :meth:`retention_frame`."""
+        if self._t_start is None:
+            return None
+        return self.frame_time(self.retention_frame())
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest(
+        self,
+        timestamps: np.ndarray,
+        tag_indices: np.ndarray,
+        phases: np.ndarray,
+    ) -> List[SegmentedWindow]:
+        """Feed one time-ordered chunk of reads; returns windows that closed.
+
+        Chunks must arrive in time order (the reader's report stream is
+        ordered); out-of-order streams should go through the batch path,
+        which sorts.
+        """
+        if self._finalized:
+            raise RuntimeError("segmenter already finalized")
+        ts = np.asarray(timestamps, dtype=float)
+        if ts.size == 0:
+            return []
+        if self._t_max is not None and float(ts[0]) < self._t_max:
+            raise ValueError("stream chunks must be time-ordered")
+        if self._t_start is None:
+            self._t_start = float(ts[0])
+        self._t_max = float(ts[-1])
+
+        self._accumulate(ts, np.asarray(tag_indices), np.asarray(phases, dtype=float))
+        self._close_completable_frames()
+        self._advance_windows(upto=self._closed_frames - self.config.window_frames)
+        return self._drain(final=False)
+
+    def finalize(self) -> List[SegmentedWindow]:
+        """Flush the stream tail; returns the remaining windows."""
+        if self._finalized:
+            return []
+        self._finalized = True
+        if self._t_start is None:
+            return []
+        frame_s = self.config.frame_s
+        n_frames = max(1, int(math.ceil((self._t_max - self._t_start) / frame_s)))
+        # End-of-log clamp: reads exactly on the final frame boundary fold
+        # into the last frame (they are the latest reads, so appending
+        # keeps the per-(frame, tag) accumulation order sequential).
+        overflow = self._open.pop(n_frames, None)
+        if overflow is not None:
+            target = self._open.setdefault(n_frames - 1, {})
+            for tag, squares in overflow.items():
+                target.setdefault(tag, []).extend(squares)
+        while self._closed_frames < n_frames:
+            self._close_frame(self._closed_frames)
+        self._open.clear()
+        self._advance_windows(upto=n_frames - 1, total_frames=n_frames)
+        return self._drain(final=True)
+
+    # -- internals: frames ---------------------------------------------
+
+    def _accumulate(self, ts: np.ndarray, tags: np.ndarray, phases: np.ndarray) -> None:
+        frame_s = self.config.frame_s
+        raw = ((ts - self._t_start) / frame_s).astype(int)
+        order = np.unique(tags, return_index=True)
+        for k in np.argsort(order[1], kind="stable"):
+            tag = int(order[0][k])
+            if tag not in self._appearance:
+                self._appearance[tag] = len(self._appearance)
+        cal_tags = self.calibration.tags
+        for tag in order[0].tolist():
+            tag = int(tag)
+            if tag not in cal_tags:
+                continue
+            mask = tags == tag
+            centre = self.calibration.central_phase(tag)
+            residuals = fold_to_pi_many(phases[mask] - centre)
+            squares = residuals * residuals
+            for f, sq in zip(raw[mask].tolist(), squares.tolist()):
+                frame = self._open.get(f)
+                if frame is None:
+                    frame = self._open[f] = {}
+                bucket = frame.get(tag)
+                if bucket is None:
+                    bucket = frame[tag] = []
+                bucket.append(sq)
+
+    def _close_completable_frames(self) -> None:
+        # Frame j can still change while a future read may land in it
+        # (j >= current raw frame) or while the end-of-log clamp may fold
+        # boundary reads down into it (only when the newest read sits
+        # exactly on a frame boundary).
+        q = (self._t_max - self._t_start) / self.config.frame_s
+        k_max = int(q)
+        completable = k_max - 1 if q == float(k_max) else k_max
+        while self._closed_frames < completable:
+            self._close_frame(self._closed_frames)
+
+    def _close_frame(self, index: int) -> None:
+        frame = self._open.pop(index, None)
+        value = 0.0
+        if frame:
+            for tag in sorted(frame, key=self._appearance.__getitem__):
+                squares = frame[tag]
+                total = 0.0
+                for sq in squares:
+                    total += sq
+                value += math.sqrt(total / len(squares))
+        self._rms.append(value)
+        self._closed_frames = index + 1
+
+    # -- internals: windows and verdicts -------------------------------
+
+    def _advance_windows(self, upto: int, total_frames: Optional[int] = None) -> None:
+        """Compute window stds/verdicts for indices ``_next_window..upto``.
+
+        During streaming ``upto = closed - W`` (full windows only); at
+        finalize ``upto = n - 1`` with ``total_frames = n`` so the
+        shrinking tail windows are included.
+        """
+        w = self.config.window_frames
+        while self._next_window <= upto:
+            i = self._next_window
+            values = np.array(self._rms[i - self._base : i - self._base + w])
+            if values.size >= 2:
+                std = float(values.std())
+            else:
+                std = 0.0
+            self._stds.append(std)
+            if std > self._peak:
+                self._peak = std
+            gate = max(
+                self.config.noise_floor, min(self.config.threshold, 0.25 * self._peak)
+            )
+            self._active.append(std > gate)
+            self._next_window += 1
+        self._decide_frames(total_frames)
+
+    def _decide_frames(self, total_frames: Optional[int]) -> None:
+        """Turn window verdicts into per-frame activity, oldest first.
+
+        A window marks its centre frame; only the final frame additionally
+        collects the clamped marks of the trailing windows, and no frame
+        decided mid-stream can be the final frame (the newest frame is
+        always still open), so mid-stream verdicts are never retracted.
+        """
+        half = self.config.window_frames // 2
+        if total_frames is None:
+            frontier = self._next_window - 1 + half if self._next_window > 0 else -1
+            frontier = min(frontier, self._closed_frames - 1)
+        else:
+            frontier = total_frames - 1
+        while self._decided <= frontier:
+            d = self._decided
+            if total_frames is not None and d == total_frames - 1:
+                lo = max(0, d - half)
+                marked = any(
+                    self._active[i - self._base] for i in range(lo, total_frames)
+                )
+            else:
+                i = d - half
+                marked = i >= 0 and self._active[i - self._base]
+            self._step_run(d, marked)
+            self._decided += 1
+        if total_frames is not None and self._run is not None:
+            self._close_run()
+
+    def _step_run(self, frame: int, marked: bool) -> None:
+        if marked:
+            if self._run is None:
+                self._run = (frame, frame + 1)
+            else:
+                self._run = (self._run[0], frame + 1)
+        elif self._run is not None:
+            self._close_run()
+
+    def _close_run(self) -> None:
+        lo, hi = self._run
+        self._run = None
+        if self._pending is not None:
+            gap = self.frame_time(lo) - self._pending_t1()
+            if gap <= self.config.merge_gap_s:
+                self._pending.hi = hi
+                self._pending.runs.append((lo, hi))
+                return
+            self._flush_queue.append(self._pending)
+        self._pending = _Pending(lo=lo, hi=hi, runs=[(lo, hi)])
+
+    def _pending_t1(self) -> float:
+        return self.frame_time(self._pending.hi - 1) + self.config.frame_s
+
+    # -- internals: emission -------------------------------------------
+
+    def _drain(self, final: bool) -> List[SegmentedWindow]:
+        # Promote the pending segment once nothing can merge into it: the
+        # earliest future segment starts at the first undecided frame.
+        if self._pending is not None and self._run is None:
+            if final:
+                self._flush_queue.append(self._pending)
+                self._pending = None
+            else:
+                next_t0 = self.frame_time(self._decided)
+                if next_t0 - self._pending_t1() > self.config.merge_gap_s:
+                    self._flush_queue.append(self._pending)
+                    self._pending = None
+        out: List[SegmentedWindow] = []
+        queue = self._flush_queue
+        while queue:
+            seg = queue[0]
+            # The segment peak needs stds up to hi-1; with default configs
+            # they exist by flush time, but guard and wait a frame if not.
+            if not final and seg.hi - 1 >= self._next_window:
+                break
+            queue.pop(0)
+            out.extend(self._emit(seg))
+        self._compact()
+        return out
+
+    def _emit(self, seg: _Pending) -> List[SegmentedWindow]:
+        frame_s = self.config.frame_s
+        lo, hi = seg.lo, seg.hi
+        chunk = np.array(self._rms[lo - self._base : hi - self._base])
+        pieces = valley_pieces(chunk, self.config)
+        windows: List[SegmentedWindow] = []
+        if len(pieces) == 1:
+            peak = max(
+                float(np.array(self._stds[a - self._base : b - self._base]).max())
+                for a, b in seg.runs
+            )
+            windows.append(
+                SegmentedWindow(float(self.frame_time(lo)),
+                                float(self.frame_time(hi - 1) + frame_s), peak)
+            )
+        else:
+            for a, b in pieces:
+                if b <= a:
+                    continue
+                t0 = float(self.frame_time(lo + a))
+                t1 = float(self.frame_time(lo + b - 1) + frame_s)
+                peak = float(
+                    np.array(self._stds[lo + a - self._base : lo + b - self._base]).max()
+                )
+                windows.append(SegmentedWindow(t0, t1, peak))
+        return [w for w in windows if w.duration >= self.config.min_stroke_s]
+
+    def _compact(self) -> None:
+        """Release ring prefixes that no future decision can touch."""
+        keep = self.retention_frame()
+        dead = keep - self._base
+        if dead > 64:
+            del self._rms[:dead]
+            del self._stds[:dead]
+            del self._active[:dead]
+            self._base = keep

@@ -324,6 +324,34 @@ class ReportLog:
             )
         return out
 
+    def columns(self) -> tuple:
+        """Time-sorted column views ``(ts, tag, phase, rss, doppler, port,
+        epc)`` — the bulk hand-off format for streaming consumers (pair
+        with :meth:`extend_columns` on the receiving log)."""
+        self._ensure_sorted()
+        return (self._ts, self._tag, self._phase, self._rss, self._dopp,
+                self._port, self._epc)
+
+    def drop_before(self, t: float) -> int:
+        """Discard all reports with ``timestamp < t``; returns the count.
+
+        Copies the surviving columns so the dropped prefix's memory is
+        actually released (a plain slice would keep the base arrays
+        alive), which is what bounded-retention streaming needs.
+        """
+        self._ensure_sorted()
+        lo = int(np.searchsorted(self._ts, t, side="left"))
+        if lo == 0:
+            return 0
+        self._ts = np.array(self._ts[lo:])
+        self._tag = np.array(self._tag[lo:])
+        self._phase = np.array(self._phase[lo:])
+        self._rss = np.array(self._rss[lo:])
+        self._dopp = np.array(self._dopp[lo:])
+        self._port = np.array(self._port[lo:])
+        self._epc = np.array(self._epc[lo:])
+        return lo
+
     def slice_time(self, t0: float, t1: float) -> "ReportLog":
         """New log with reports in [t0, t1) — a view, not a copy."""
         self._ensure_sorted()

@@ -13,12 +13,14 @@ from .metrics import (
     score_motion_trials,
     score_segmentation,
 )
+from .live import LiveDriver, iter_chunks, stream_log
 from .runner import LetterTrial, MotionTrial, SessionRunner
 from .scenario import Scenario, ScenarioConfig, build_scenario
 
 __all__ = [
     "DetectionCounts",
     "LetterTrial",
+    "LiveDriver",
     "MotionTrial",
     "Scenario",
     "ScenarioConfig",
@@ -27,9 +29,11 @@ __all__ = [
     "build_scenario",
     "confusion_matrix",
     "empirical_cdf",
+    "iter_chunks",
     "merge_segmentation_scores",
     "per_label_accuracy",
     "percentile",
     "score_motion_trials",
     "score_segmentation",
+    "stream_log",
 ]

@@ -1,0 +1,9 @@
+"""Streaming session layer: incremental, bounded-memory recognition.
+
+See :mod:`repro.stream.session` for the equivalence and retention
+contracts, and DESIGN.md §11 for the architecture.
+"""
+
+from .session import LetterEvent, StreamEvent, StreamingSession, StrokeEvent
+
+__all__ = ["LetterEvent", "StreamEvent", "StreamingSession", "StrokeEvent"]

@@ -1,0 +1,242 @@
+"""Bounded-memory streaming recognition sessions.
+
+The paper's system is inherently online: the reader inventories tags
+continuously and strokes must be segmented and recognised *as the user
+writes* (Eq. 11-12 framing, the Fig. 24 latency budget).  A
+:class:`StreamingSession` is the online driver over the same stage objects
+the batch :class:`~repro.core.pipeline.RFIPad` uses:
+
+* report chunks go in via :meth:`StreamingSession.ingest` (any chunking,
+  down to one read at a time);
+* :class:`StrokeEvent`\\ s come back as stroke windows close, each carrying
+  the :class:`~repro.core.events.SegmentedWindow` and the analysed
+  :class:`~repro.core.events.StrokeObservation`;
+* :meth:`StreamingSession.finalize` flushes the tail and appends the
+  :class:`LetterEvent` with the tree-grammar composition.
+
+**Equivalence contract** (enforced by ``tests/stream/``): for any log and
+any chunking, the streamed window/stroke/letter sequence is exactly — to
+the float — what ``RFIPad.recognize_letter`` produces on the whole log.
+This works because the segmenter is causal (see
+:class:`~repro.core.segmentation.StreamSegmenter`) and every analysis
+stage reads only ``[t0, t1)`` of the log, so running it over the
+session's retention buffer is indistinguishable from running it over the
+full log.
+
+**Memory bound**: after each chunk the session discards buffered reads
+older than the segmenter's retention horizon — everything before the
+oldest frame that could still join a stroke window.  Retained state is
+O(longest stroke + lookahead), independent of session length.
+
+Observability: each chunk runs under a ``stream.chunk`` span;
+``stream.buffered_reads`` / ``stream.lag_s`` gauges track the retention
+buffer, and ``stream.event_latency_s`` is the end-to-end histogram of
+(emission time − window close time) in stream time, surfaced by
+``repro stats``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from ..core.events import LetterResult, SegmentedWindow, StrokeObservation
+from ..core.pipeline import RFIPad
+from ..core.segmentation import StreamSegmenter
+from ..core.stages import GrammarStage, StageContext, WindowAnalyzer, widest_window
+from ..obs.metrics import get_metrics
+from ..obs.trace import get_tracer
+from ..rfid.reports import ReportLog
+
+__all__ = ["LetterEvent", "StreamEvent", "StreamingSession", "StrokeEvent"]
+
+
+@dataclass(frozen=True)
+class StrokeEvent:
+    """One closed stroke window and its analysis.
+
+    ``stroke`` is ``None`` when the window held no classifiable
+    disturbance (the batch pipeline drops such windows from the stroke
+    list the same way).  ``emitted_at`` is stream time — the timestamp of
+    the newest read seen when the event fired — so ``emitted_at -
+    window.t1`` is the end-to-end event latency.
+    """
+
+    window: SegmentedWindow
+    stroke: Optional[StrokeObservation]
+    emitted_at: float
+
+
+@dataclass(frozen=True)
+class LetterEvent:
+    """The end-of-session tree-grammar composition."""
+
+    result: LetterResult
+    emitted_at: float
+
+
+StreamEvent = Union[StrokeEvent, LetterEvent]
+
+
+class StreamingSession:
+    """Incremental recognition over a live report stream.
+
+    Parameters
+    ----------
+    pad:
+        A calibrated :class:`~repro.core.pipeline.RFIPad`; the session
+        snapshots its stage set at construction, so mid-session config
+        changes on the pad do not affect an open session.
+    bounded:
+        When true (the default) the read buffer is pruned to the
+        segmenter's retention horizon after every chunk.  Set false to
+        retain the whole stream — only useful for the quiet-log fallback
+        of :meth:`motion_result`, which then matches batch
+        ``detect_motion`` exactly even for window-less sessions.
+    """
+
+    def __init__(self, pad: RFIPad, bounded: bool = True) -> None:
+        self._ctx: StageContext = pad.stage_context()
+        stages = pad.stages
+        self._analyzer: WindowAnalyzer = stages.analyzer
+        self._grammar: GrammarStage = stages.grammar
+        self._segmenter: StreamSegmenter = stages.segmentation.stream(self._ctx)
+        self.bounded = bounded
+        self._buffer = ReportLog()
+        self._events: List[StreamEvent] = []
+        self._windows: List[SegmentedWindow] = []
+        self._strokes: List[StrokeObservation] = []
+        self._now: Optional[float] = None
+        self._letter: Optional[LetterResult] = None
+        self._finalized = False
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest(self, chunk: ReportLog) -> List[StreamEvent]:
+        """Feed one time-ordered chunk; returns the events it triggered."""
+        if self._finalized:
+            raise RuntimeError("session already finalized")
+        metrics = get_metrics()
+        with get_tracer().span("stream.chunk", reads=len(chunk)) as sp:
+            ts, tag, phase, rss, dopp, port, epc = chunk.columns()
+            if ts.size:
+                self._buffer.extend_columns(
+                    ts, tag, phase, rss, dopp, epc,
+                    antenna_port=int(port[0]),
+                )
+                self._now = float(ts[-1])
+            windows = self._segmenter.ingest(ts, tag, phase)
+            events = [self._emit(w) for w in windows]
+            dropped = self._prune()
+            sp.set(windows=len(windows), buffered=len(self._buffer))
+        if metrics.enabled:
+            metrics.inc("stream.chunks")
+            metrics.inc("stream.reads", float(ts.size))
+            if dropped:
+                metrics.inc("stream.dropped_reads", float(dropped))
+            metrics.set_gauge("stream.buffered_reads", float(len(self._buffer)))
+            if self._now is not None:
+                horizon = self.retention_time
+                if horizon is not None:
+                    metrics.set_gauge("stream.lag_s", self._now - horizon)
+        return events
+
+    def finalize(self) -> List[StreamEvent]:
+        """End the stream: flush tail windows and compose the letter."""
+        if self._finalized:
+            raise RuntimeError("session already finalized")
+        self._finalized = True
+        with get_tracer().span("stream.finalize") as sp:
+            events: List[StreamEvent] = [
+                self._emit(w) for w in self._segmenter.finalize()
+            ]
+            self._letter = self._grammar.run(self._strokes, self._windows)
+            letter_event = LetterEvent(
+                result=self._letter,
+                emitted_at=self._now if self._now is not None else 0.0,
+            )
+            self._events.append(letter_event)
+            events.append(letter_event)
+            sp.set(windows=len(events) - 1, letter=self._letter.letter)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("stream.sessions")
+        return events
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def events(self) -> List[StreamEvent]:
+        """Every event emitted so far, in order."""
+        return list(self._events)
+
+    @property
+    def windows(self) -> List[SegmentedWindow]:
+        return list(self._windows)
+
+    @property
+    def strokes(self) -> List[StrokeObservation]:
+        return list(self._strokes)
+
+    @property
+    def letter_result(self) -> Optional[LetterResult]:
+        """The grammar composition; ``None`` until :meth:`finalize`."""
+        return self._letter
+
+    def motion_result(self) -> Optional[StrokeObservation]:
+        """Single-motion view of the finished session.
+
+        Mirrors batch ``detect_motion``: the stroke of the widest window
+        (earliest ``t0`` on ties).  For window-less sessions the batch
+        path analyses the whole log; a bounded session has already shed
+        most of it, so the fallback runs over the retention tail (exact
+        only with ``bounded=False``).
+        """
+        if not self._finalized:
+            raise RuntimeError("finalize() the session before reading results")
+        if self._windows:
+            target = widest_window(self._windows)
+            for ev in self._events:
+                if isinstance(ev, StrokeEvent) and ev.window == target:
+                    return ev.stroke
+        if len(self._buffer) == 0:
+            return None
+        return self._analyzer.analyze(self._ctx, self._buffer)
+
+    # -- retention -----------------------------------------------------
+
+    @property
+    def buffered_reads(self) -> int:
+        """Reads currently retained (the memory-bound witness)."""
+        return len(self._buffer)
+
+    @property
+    def retention_time(self) -> Optional[float]:
+        """Oldest timestamp the session still needs; earlier reads are gone."""
+        return self._segmenter.retention_time()
+
+    def _prune(self) -> int:
+        if not self.bounded:
+            return 0
+        horizon = self._segmenter.retention_time()
+        if horizon is None:
+            return 0
+        return self._buffer.drop_before(horizon)
+
+    # -- internals -----------------------------------------------------
+
+    def _emit(self, window: SegmentedWindow) -> StrokeEvent:
+        obs = self._analyzer.analyze(self._ctx, self._buffer, window.t0, window.t1)
+        self._windows.append(window)
+        if obs is not None:
+            self._strokes.append(obs)
+        now = self._now if self._now is not None else window.t1
+        event = StrokeEvent(window=window, stroke=obs, emitted_at=now)
+        self._events.append(event)
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("stream.windows")
+            metrics.observe(
+                "stream.event_latency_s", max(0.0, now - window.t1)
+            )
+        return event

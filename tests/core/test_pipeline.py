@@ -62,15 +62,29 @@ def test_recognize_letter_end_to_end(shared_runner):
     assert result.candidates[0][0] == "T"
 
 
-def test_timed_detect_motion_reports_latency(shared_runner):
-    # Deprecated shim (superseded by repro.obs tracer spans) — must keep
-    # working for old callers, with a DeprecationWarning.
-    script = script_for_motion(Motion(StrokeKind.SLASH), shared_runner.rng)
-    log = shared_runner.run_script(script)
-    with pytest.warns(DeprecationWarning):
-        obs, latency = shared_runner.pad.timed_detect_motion(log)
-    assert obs is not None
-    assert 0.0 < latency < 2.0
+def test_calibrate_from_returns_tuned_config(shared_runner):
+    pad = RFIPad(shared_runner.scenario.layout)
+    static = shared_runner.reader.collect_static(3.0)
+    tuned = pad.calibrate_from(static)
+    assert tuned is pad.config.segmentation
+    assert tuned.threshold > 0.0
+    assert tuned.noise_floor > 0.0
+    untouched = RFIPad(shared_runner.scenario.layout)
+    default_thr = untouched.config.segmentation.threshold
+    returned = untouched.calibrate_from(static, tune_segmentation=False)
+    assert returned.threshold == default_thr
+
+
+def test_widest_window_prefers_earliest_on_ties():
+    from repro.core.events import SegmentedWindow
+    from repro.core.stages import widest_window
+
+    a = SegmentedWindow(t0=1.0, t1=2.0, peak_std_rms=0.5)
+    b = SegmentedWindow(t0=3.0, t1=4.0, peak_std_rms=0.9)
+    c = SegmentedWindow(t0=5.0, t1=5.5, peak_std_rms=0.1)
+    assert widest_window([c, b, a]) is a  # equal durations: earliest t0 wins
+    wide = SegmentedWindow(t0=6.0, t1=9.0, peak_std_rms=0.2)
+    assert widest_window([a, b, wide]) is wide
 
 
 def test_suppression_toggle_changes_result_values(shared_runner):

@@ -163,21 +163,23 @@ class TestExperimentNotes:
             del REGISTRY["_obs_tmp2"]
 
 
-class TestDeprecatedShim:
-    def test_timed_detect_motion_warns_and_times(self, shared_runner):
+class TestSpanLatency:
+    def test_detect_motion_latency_via_spans(self, shared_runner, tracer):
+        # Span durations are the supported way to measure pipeline latency
+        # (the removed timed_detect_motion shim used to wrap this).
         script = script_for_motion(Motion(StrokeKind.SLASH), shared_runner.rng)
         log = shared_runner.run_script(script)
-        with pytest.warns(DeprecationWarning):
-            obs, latency = shared_runner.pad.timed_detect_motion(log)
+        obs = shared_runner.pad.detect_motion(log)
         assert obs is not None
-        assert 0.0 < latency < 2.0
+        durations = tracer.durations("detect_motion")
+        assert len(durations) == 1
+        assert 0.0 < durations[0] < 2.0
 
-    def test_shim_does_not_touch_global_tracer(self, shared_runner):
+    def test_disabled_tracer_records_nothing(self, shared_runner):
         tracer = get_tracer()
         assert not tracer.enabled
         script = script_for_motion(Motion(StrokeKind.SLASH), shared_runner.rng)
         log = shared_runner.run_script(script)
         mark = tracer.mark()
-        with pytest.warns(DeprecationWarning):
-            shared_runner.pad.timed_detect_motion(log)
+        shared_runner.pad.detect_motion(log)
         assert tracer.spans_since(mark) == []

@@ -1,0 +1,172 @@
+"""StreamingSession behaviour: bounded retention, lifecycle, and the
+StreamSegmenter's batch equivalence on adversarial synthetic streams."""
+
+import numpy as np
+import pytest
+
+from repro.core.segmentation import StreamSegmenter, segment_strokes
+from repro.motion.script import script_for_letter, script_for_word
+from repro.rfid.reports import ReportLog
+from repro.sim.live import iter_chunks
+from repro.stream import StreamingSession
+
+
+# ---------------------------------------------------------------------------
+# Bounded memory
+# ---------------------------------------------------------------------------
+
+
+def test_bounded_memory_on_long_session(shared_runner):
+    # A whole word is the longest session the simulator produces; a
+    # bounded session must shed the past as it goes.
+    log = shared_runner.run_script(
+        script_for_word("HELLO", shared_runner.rng)
+    )
+    session = StreamingSession(shared_runner.pad)
+    max_buffered = 0
+    for chunk in iter_chunks(log, 0.1):
+        session.ingest(chunk)
+        max_buffered = max(max_buffered, session.buffered_reads)
+        horizon = session.retention_time
+        if horizon is not None and session.buffered_reads:
+            # Retention invariant: nothing older than the horizon stays.
+            oldest = float(session._buffer.columns()[0][0])
+            assert oldest >= horizon - 1e-9
+    session.finalize()
+    assert len(log) > 2000  # the bound is only meaningful on a long stream
+    assert max_buffered < len(log) / 3
+    assert session.letter_result is not None
+
+
+def test_unbounded_session_keeps_everything(shared_runner):
+    log = shared_runner.run_script(
+        script_for_letter("T", shared_runner.rng)
+    )
+    session = StreamingSession(shared_runner.pad, bounded=False)
+    for chunk in iter_chunks(log, 0.1):
+        session.ingest(chunk)
+    session.finalize()
+    assert session.buffered_reads == len(log)
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_out_of_order_chunks_rejected(shared_runner):
+    log = shared_runner.run_script(
+        script_for_letter("T", shared_runner.rng)
+    )
+    chunks = list(iter_chunks(log, 1.0))
+    session = StreamingSession(shared_runner.pad)
+    session.ingest(chunks[1])
+    with pytest.raises(ValueError):
+        session.ingest(chunks[0])
+
+
+def test_finalized_session_rejects_further_use(shared_runner):
+    log = shared_runner.run_script(
+        script_for_letter("T", shared_runner.rng)
+    )
+    session = StreamingSession(shared_runner.pad)
+    session.ingest(log)
+    session.finalize()
+    with pytest.raises(RuntimeError):
+        session.ingest(log)
+    with pytest.raises(RuntimeError):
+        session.finalize()
+
+
+def test_motion_result_requires_finalize(shared_runner):
+    session = StreamingSession(shared_runner.pad)
+    with pytest.raises(RuntimeError):
+        session.motion_result()
+
+
+def test_empty_session_finalizes_cleanly(shared_runner):
+    session = StreamingSession(shared_runner.pad)
+    events = session.finalize()
+    assert len(events) == 1  # just the (empty) letter event
+    assert session.letter_result.letter is None
+    assert session.motion_result() is None
+
+
+# ---------------------------------------------------------------------------
+# iter_chunks
+# ---------------------------------------------------------------------------
+
+
+def test_iter_chunks_partitions_the_log(shared_runner):
+    log = shared_runner.run_script(
+        script_for_letter("L", shared_runner.rng)
+    )
+    chunks = list(iter_chunks(log, 0.23))
+    assert sum(len(c) for c in chunks) == len(log)
+    ts = np.concatenate([c.columns()[0] for c in chunks if len(c)])
+    assert np.array_equal(ts, log.columns()[0])
+
+
+def test_iter_chunks_rejects_nonpositive_chunk(shared_runner):
+    with pytest.raises(ValueError):
+        list(iter_chunks(ReportLog(), 0.0))
+
+
+# ---------------------------------------------------------------------------
+# ReportLog streaming support
+# ---------------------------------------------------------------------------
+
+
+def test_report_log_drop_before(shared_runner):
+    log = shared_runner.reader.collect_static(1.0)
+    ts0 = log.columns()[0].copy()
+    cut = float(ts0[ts0.size // 2])
+    expected = int(np.searchsorted(ts0, cut, side="left"))
+    assert log.drop_before(cut) == expected
+    ts1 = log.columns()[0]
+    assert ts1.size == ts0.size - expected
+    assert float(ts1[0]) >= cut
+    # Reads exactly at the cut survive, so a repeat drop is a no-op.
+    assert log.drop_before(cut) == 0
+
+
+# ---------------------------------------------------------------------------
+# StreamSegmenter vs segment_strokes on synthetic adversarial streams
+# ---------------------------------------------------------------------------
+
+
+def _synthetic_log(calibration, rng, duration_s=6.0, n=1500):
+    """Random read stream with two noisy bursts over a quiet baseline."""
+    tag_ids = np.array(sorted(calibration.tags))
+    ts = np.sort(rng.uniform(0.0, duration_s, size=n))
+    tags = rng.choice(tag_ids, size=n)
+    centres = np.array([calibration.central_phase(int(t)) for t in tags])
+    noise = rng.normal(0.0, 0.05, size=n)
+    burst = ((ts > 1.5) & (ts < 2.5)) | ((ts > 4.0) & (ts < 4.7))
+    noise[burst] += rng.normal(0.0, 1.2, size=int(burst.sum()))
+    phases = np.mod(centres + noise, 2.0 * np.pi)
+    log = ReportLog()
+    log.extend_columns(
+        ts, tags, phases,
+        np.full(n, -60.0), np.zeros(n),
+        [f"EPC{int(t):04d}" for t in tags],
+    )
+    return log
+
+
+def test_stream_segmenter_matches_batch_on_synthetic_logs(shared_runner, rng):
+    calibration = shared_runner.pad.calibration
+    config = shared_runner.pad.config.segmentation
+    for _ in range(3):
+        log = _synthetic_log(calibration, rng)
+        expected = segment_strokes(log, calibration, config)
+        ts, tags, phases = log.columns()[0], log.columns()[1], log.columns()[2]
+        segmenter = StreamSegmenter(calibration, config)
+        got = []
+        i = 0
+        while i < ts.size:
+            j = min(ts.size, i + int(rng.integers(1, 200)))
+            got.extend(segmenter.ingest(ts[i:j], tags[i:j], phases[i:j]))
+            i = j
+        got.extend(segmenter.finalize())
+        assert got == expected
