@@ -63,6 +63,95 @@ echo "== hot-path benchmark (smoke mode, with regression floor) =="
 # wall regresses more than 2x over the best recorded smoke entry.
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_perf_hotpath.py -q
 
+echo "== repro top --once (health-rule smoke test) =="
+# One observed battery, evaluated against the shipped rule set; a failed
+# Fig. 24 budget (or any 'fail' rule) makes this exit nonzero.
+python -m repro top --once --fast --rules scripts/health_rules.json \
+    > /tmp/repro-top-smoke.$$ 2>&1 || {
+    cat /tmp/repro-top-smoke.$$
+    rm -f /tmp/repro-top-smoke.$$
+    echo "repro top --once reported a health failure" >&2
+    exit 1
+}
+grep -q "== health ==" /tmp/repro-top-smoke.$$ || {
+    rm -f /tmp/repro-top-smoke.$$
+    echo "top output is missing the health table" >&2
+    exit 1
+}
+rm -f /tmp/repro-top-smoke.$$
+echo "ok"
+
+echo "== health-rule self-check =="
+# The shipped rule file must validate; a malformed file must be rejected.
+python -m repro top --validate-rules scripts/health_rules.json
+echo '[{"name": "bad", "kind": "vibes", "target": "g", "threshold": 1}]' \
+    > /tmp/repro-bad-rules.$$.json
+if python -m repro top --validate-rules /tmp/repro-bad-rules.$$.json \
+    > /dev/null 2>&1; then
+    rm -f /tmp/repro-bad-rules.$$.json
+    echo "malformed rule file was not rejected" >&2
+    exit 1
+fi
+rm -f /tmp/repro-bad-rules.$$.json
+echo "ok"
+
+echo "== serve-metrics scrape (Prometheus endpoint smoke test) =="
+# Start the scrape server on an ephemeral port, pull one /metrics
+# snapshot, and lint it against the exposition format; --max-requests 1
+# makes the server exit on its own after the scrape.
+serve_log=/tmp/repro-serve-smoke.$$
+python -m repro serve-metrics --port 0 --populate --max-requests 1 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+if python - "$serve_log" "$serve_pid" <<'PY'
+import re, sys, time, urllib.request
+
+log_path, pid = sys.argv[1], int(sys.argv[2])
+deadline = time.time() + 120.0
+port = None
+while time.time() < deadline and port is None:
+    try:
+        with open(log_path, encoding="utf-8") as fh:
+            m = re.search(r"http://[^:]+:(\d+)/metrics", fh.read())
+        if m:
+            port = int(m.group(1))
+    except OSError:
+        pass
+    time.sleep(0.2)
+if port is None:
+    sys.exit("serve-metrics never printed its address")
+with urllib.request.urlopen(f"http://127.0.0.1:{port}/metrics", timeout=30) as resp:
+    ctype = resp.headers["Content-Type"]
+    body = resp.read().decode("utf-8")
+if "version=0.0.4" not in ctype:
+    sys.exit(f"unexpected scrape content type: {ctype}")
+sys.path.insert(0, "src")
+from repro.obs.export import lint_exposition
+
+problems = lint_exposition(body)
+if problems:
+    sys.exit("scrape failed exposition lint:\n" + "\n".join(problems))
+if "repro_runner_motion_trials_total" not in body:
+    sys.exit("scrape is missing the populated battery counters")
+print(f"scraped {len(body.splitlines())} exposition lines from :{port}")
+PY
+then
+    wait "$serve_pid" || {
+        cat "$serve_log"
+        rm -f "$serve_log"
+        echo "serve-metrics exited nonzero" >&2
+        exit 1
+    }
+    rm -f "$serve_log"
+    echo "ok"
+else
+    kill "$serve_pid" 2> /dev/null || true
+    cat "$serve_log"
+    rm -f "$serve_log"
+    echo "metrics scrape failed" >&2
+    exit 1
+fi
+
 echo "== ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src tests

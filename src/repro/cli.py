@@ -14,10 +14,16 @@ Commands
 ``live``               simulate a session and stream it, printing events as
                        stroke windows close
 ``stats``              run a standard battery with tracing + metrics on
+                       (``--prometheus`` prints text exposition instead)
+``serve-metrics``      expose /metrics (Prometheus) + /healthz over HTTP
+``top``                live terminal health view: span p95s, read rate,
+                       stream gauges, and declarative health rules
 
 Global observability flags: ``--trace-out PATH`` records every span of the
-invoked command to a JSONL file; ``--log-level`` / ``--log-json`` configure
-the ``repro.*`` loggers (see README "Observability").
+invoked command to a JSONL file; ``--metrics-out PATH`` samples the metric
+registries on an interval (``--metrics-interval``) and writes the sampled
+time series as JSONL; ``--log-level`` / ``--log-json`` configure the
+``repro.*`` loggers (see README "Observability" and "Monitoring").
 """
 
 from __future__ import annotations
@@ -200,7 +206,7 @@ def cmd_live(args: argparse.Namespace) -> int:
     log = runner.run_script(script)
     print(f"streaming {len(log)} reads in {args.chunk * 1000:.0f} ms chunks "
           f"(truth {truth!r})")
-    session = StreamingSession(runner.pad)
+    session = StreamingSession(runner.pad, session_id="live")
     for ev in stream_log(runner.pad, log, args.chunk, session=session):
         _print_stream_events([ev])
     print(f"retained {session.buffered_reads} of {len(log)} reads at finish")
@@ -250,6 +256,31 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_observed_battery(
+    args: argparse.Namespace,
+    repeats: int = 1,
+    motions=None,
+    workers: Optional[int] = None,
+) -> SessionRunner:
+    """The standard observed workload: motions + a letter + a streamed leg.
+
+    Shared by ``stats``, ``top``, and ``serve-metrics --populate`` so
+    every observability surface describes the same battery.
+    """
+    runner = _make_runner(args)  # calibration collect() is traced too
+    battery = motions if motions is not None else all_motions()
+    runner.run_motion_battery(battery, repeats, workers=workers)
+    # One letter session exercises the letter path: multi-stroke
+    # segmentation plus the tree-grammar composition stage.
+    runner.run_letter("T")
+    # And one streamed session exercises the online layer, so the
+    # stream.* spans and the event-latency histogram show up too.
+    from .sim.live import LiveDriver
+
+    LiveDriver(runner, chunk_s=0.1).run_letter("H")
+    return runner
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Run a standard battery with full observability and print summaries."""
     tracer = get_tracer()
@@ -257,25 +288,133 @@ def cmd_stats(args: argparse.Namespace) -> int:
     tracer.enable()
     metrics.enable()
     repeats = 1 if args.fast else args.repeats
-    runner = _make_runner(args)  # calibration collect() is traced too
-    for motion in all_motions():
-        for _ in range(repeats):
-            runner.run_motion(motion)
-    # One letter session exercises the letter path: multi-stroke
-    # segmentation plus the tree-grammar composition stage.
-    runner.run_letter("T")
-    # And one streamed session exercises the online layer, so the
-    # stream.* spans and the event-latency histogram show up below.
-    from .sim.live import LiveDriver
+    _run_observed_battery(args, repeats=repeats, workers=args.workers)
 
-    LiveDriver(runner, chunk_s=0.1).run_letter("H")
+    if args.prometheus:
+        from .obs.export import to_prometheus
 
+        sys.stdout.write(to_prometheus(metrics, tracer))
+        return 0
     print("== span tree (count / total / mean / p95 per path) ==")
     print(tracer.render_tree())
     print()
     print("== metrics ==")
     print(metrics.render())
     return 0
+
+
+def _load_cli_rules(path: str):
+    """Load health rules for a CLI command (default set when no path)."""
+    from .obs.health import default_rules, load_rules
+
+    return load_rules(path) if path else default_rules()
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Serve /metrics (Prometheus exposition) and /healthz over HTTP."""
+    from .obs.export import make_metrics_server
+    from .obs.health import HealthRuleError
+    from .obs.telemetry import TelemetryHub
+
+    try:
+        rules = _load_cli_rules(args.rules)
+    except HealthRuleError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    get_tracer().enable()
+    get_metrics().enable()
+    if args.populate:
+        # A small battery so the endpoint has data before the first scrape.
+        _run_observed_battery(args, motions=all_motions()[:3])
+    hub = TelemetryHub(interval_s=args.interval)
+    hub.start()
+    server = make_metrics_server(
+        port=args.port, rules=rules, hub=hub, max_requests=args.max_requests
+    )
+    host, port = server.server_address[:2]
+    print(f"serving metrics on http://{host}:{port}/metrics "
+          f"(health at /healthz)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        hub.stop(final_sample=False)
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live health view; ``--once`` prints a single frame and exits."""
+    import threading
+    import time as _time
+
+    from .obs.health import (
+        HealthRuleError,
+        evaluate_rules,
+        load_rules,
+        render_status,
+        worst_status,
+    )
+    from .obs.telemetry import TelemetryHub
+
+    if args.validate_rules:
+        try:
+            rules = load_rules(args.validate_rules)
+        except HealthRuleError as exc:
+            print(f"repro: invalid health rules: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.validate_rules}: {len(rules)} health rule(s) ok")
+        return 0
+    try:
+        rules = _load_cli_rules(args.rules)
+    except HealthRuleError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+    tracer, metrics = get_tracer(), get_metrics()
+    tracer.enable()
+    metrics.enable()
+    hub = TelemetryHub(interval_s=args.interval)
+
+    def frame():
+        findings = evaluate_rules(rules, metrics=metrics, tracer=tracer, hub=hub)
+        return render_status(metrics, tracer, findings, hub=hub), findings
+
+    if args.once:
+        _run_observed_battery(
+            args, repeats=1 if args.fast else 3, workers=args.workers
+        )
+        hub.sample()
+        text, findings = frame()
+        print(text)
+        return 1 if worst_status(findings) == "fail" else 0
+
+    # Live mode: batteries repeat on a worker thread while the foreground
+    # refreshes one frame per interval from the hub's sampled window.
+    stop = threading.Event()
+
+    def _work() -> None:
+        while not stop.is_set():
+            _run_observed_battery(args, repeats=1, workers=args.workers)
+
+    worker = threading.Thread(target=_work, name="repro-top-battery", daemon=True)
+    worker.start()
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    iterations = 0
+    findings = []
+    try:
+        while not args.iterations or iterations < args.iterations:
+            _time.sleep(args.interval)
+            hub.sample()
+            text, findings = frame()
+            print(f"{clear}{text}\n", flush=True)
+            iterations += 1
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+    return 1 if worst_status(findings) == "fail" else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -290,6 +429,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace-out", default="",
         help="record all spans of this invocation to a JSONL file",
+    )
+    parser.add_argument(
+        "--metrics-out", default="",
+        help="sample the metric registries on an interval and write the "
+             "time series to a JSONL file at exit",
+    )
+    parser.add_argument(
+        "--metrics-interval", type=float, default=0.5,
+        help="sampling interval in seconds for --metrics-out (default 0.5)",
     )
     parser.add_argument(
         "--log-level", default="warning",
@@ -376,6 +524,77 @@ def build_parser() -> argparse.ArgumentParser:
                          help="single repeat per motion (smoke-test mode)")
     p_stats.add_argument("--repeats", type=int, default=3,
                          help="repeats per motion when not --fast (default 3)")
+    p_stats.add_argument(
+        "--prometheus", action="store_true",
+        help="print the metrics in Prometheus text exposition format "
+             "instead of the human-readable summaries",
+    )
+    p_stats.add_argument(
+        "--workers", type=int, default=None,
+        help="run the battery on N worker processes (telemetry is relayed "
+             "back and merged, so the totals match a serial run)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve-metrics",
+        help="expose /metrics (Prometheus text exposition) and /healthz "
+             "(JSON health-rule findings) over HTTP",
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=9464,
+        help="TCP port to bind on 127.0.0.1 (0 picks a free port; "
+             "the bound address is printed at startup)",
+    )
+    p_serve.add_argument(
+        "--max-requests", type=int, default=0,
+        help="exit after N successful scrapes (0 = serve until interrupted)",
+    )
+    p_serve.add_argument(
+        "--populate", action="store_true",
+        help="run a small observed battery before serving so the first "
+             "scrape already has data",
+    )
+    p_serve.add_argument(
+        "--interval", type=float, default=1.0,
+        help="telemetry-hub sampling interval in seconds (default 1.0)",
+    )
+    p_serve.add_argument(
+        "--rules", default="",
+        help="JSON health-rule file for /healthz (default: built-in rules)",
+    )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal health view: span p95s, read rate, stream "
+             "gauges, and declarative health-rule findings; exits nonzero "
+             "when a 'fail'-severity rule trips",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="run one observed battery, print a single frame, and exit",
+    )
+    p_top.add_argument("--fast", action="store_true",
+                       help="single repeat per motion in --once mode")
+    p_top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="refresh/sampling interval in seconds (default 1.0)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop after N refreshes (0 = run until interrupted)",
+    )
+    p_top.add_argument(
+        "--rules", default="",
+        help="JSON health-rule file (default: built-in Fig. 24 budgets)",
+    )
+    p_top.add_argument(
+        "--validate-rules", default="", metavar="PATH",
+        help="validate a health-rule file and exit (nonzero if malformed)",
+    )
+    p_top.add_argument(
+        "--workers", type=int, default=None,
+        help="run the observed batteries on N worker processes",
+    )
     return parser
 
 
@@ -401,26 +620,50 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_live(args)
     if args.command == "stats":
         return cmd_stats(args)
+    if args.command == "serve-metrics":
+        return cmd_serve_metrics(args)
+    if args.command == "top":
+        return cmd_top(args)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def _check_writable(path: str, what: str) -> bool:
+    # Fail fast: exports run after the command, and a long run that ends
+    # in an unwritable path would silently lose the whole recording.
+    try:
+        with open(path, "w", encoding="utf-8"):
+            pass
+    except OSError as exc:
+        print(f"repro: error: cannot write {what} to {path}: {exc}",
+              file=sys.stderr)
+        return False
+    return True
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json=args.log_json)
     if args.trace_out:
-        # Fail fast: the export runs after the command, and a long run that
-        # ends in an unwritable path would silently lose the whole trace.
-        try:
-            with open(args.trace_out, "w", encoding="utf-8"):
-                pass
-        except OSError as exc:
-            print(f"repro: error: cannot write trace to {args.trace_out}: {exc}",
-                  file=sys.stderr)
+        if not _check_writable(args.trace_out, "trace"):
             return 2
         get_tracer().enable()
+    hub = None
+    if args.metrics_out:
+        from .obs.telemetry import TelemetryHub
+
+        if not _check_writable(args.metrics_out, "metrics"):
+            return 2
+        get_metrics().enable()
+        hub = TelemetryHub(interval_s=args.metrics_interval)
+        hub.start()
     try:
         return _dispatch(args)
     finally:
+        if hub is not None:
+            hub.stop(final_sample=True)
+            count = hub.export_jsonl(args.metrics_out)
+            print(f"wrote {count} metric samples to {args.metrics_out}",
+                  file=sys.stderr)
         if args.trace_out:
             count = get_tracer().export_jsonl(args.trace_out)
             print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)

@@ -13,7 +13,15 @@ for the reproduction:
 * :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket histograms
   with p50/p95/p99 summaries, no-ops when disabled;
 * :mod:`repro.obs.log` — ``logging`` wiring under the ``repro`` namespace
-  with a ``configure(level, json=False)`` entry point.
+  with a ``configure(level, json=False)`` entry point;
+* :mod:`repro.obs.telemetry` — cross-process snapshots
+  (:class:`TelemetrySnapshot`, worker relay merge) and the
+  :class:`TelemetryHub` interval sampler with a bounded ring buffer;
+* :mod:`repro.obs.export` — Prometheus text-exposition rendering, an
+  exposition-format lint, and the stdlib ``/metrics`` scrape server;
+* :mod:`repro.obs.health` — declarative health rules (Fig. 24 latency
+  budgets, read-rate-drop and stream-stall detectors) behind
+  ``repro top``.
 
 Everything here is **off by default** and deliberately cheap when off: a
 disabled ``tracer.span()`` returns a shared null context manager and a
@@ -22,17 +30,42 @@ hot path pays (almost) nothing until someone turns the lights on
 (``python -m repro stats``, ``--trace-out``, or an explicit ``enable()``).
 """
 
+from .export import lint_exposition, make_metrics_server, to_prometheus
+from .health import (
+    HealthFinding,
+    HealthRule,
+    HealthRuleError,
+    default_rules,
+    evaluate_rules,
+    load_rules,
+)
 from .log import configure, get_logger
-from .metrics import Histogram, MetricsRegistry, get_metrics
-from .trace import Span, Tracer, get_tracer
+from .metrics import Histogram, MetricsRegistry, get_metrics, scoped_metrics
+from .telemetry import TelemetryHub, TelemetrySnapshot, capture_snapshot, merge_snapshot
+from .trace import Span, Tracer, get_tracer, scoped_tracer
 
 __all__ = [
+    "HealthFinding",
+    "HealthRule",
+    "HealthRuleError",
     "Histogram",
     "MetricsRegistry",
     "Span",
+    "TelemetryHub",
+    "TelemetrySnapshot",
     "Tracer",
+    "capture_snapshot",
     "configure",
+    "default_rules",
+    "evaluate_rules",
     "get_logger",
     "get_metrics",
     "get_tracer",
+    "lint_exposition",
+    "load_rules",
+    "make_metrics_server",
+    "merge_snapshot",
+    "scoped_metrics",
+    "scoped_tracer",
+    "to_prometheus",
 ]

@@ -1,0 +1,408 @@
+"""Prometheus text-exposition export and the ``/metrics`` scrape server.
+
+The future ``repro serve`` layer must be scrapeable from day one, so the
+registry learns to render itself in the Prometheus text exposition
+format (version 0.0.4):
+
+* counters become ``repro_<name>_total`` with a ``# TYPE ... counter``
+  header;
+* gauges become ``repro_<name>`` gauges;
+* fixed-bucket histograms expand to cumulative ``_bucket{le="..."}``
+  series plus ``_sum`` and ``_count``;
+* instrument labels (``repro.obs.metrics.labeled_name`` keys, e.g. the
+  per-session stream gauges) become Prometheus labels.
+
+:func:`lint_exposition` is a zero-dependency validator for the subset we
+emit — name/label charset, ``# TYPE`` placement, bucket monotonicity,
+``+Inf`` termination — used by the tests and by ``scripts/check.sh``'s
+scrape smoke.  :func:`make_metrics_server` wraps it all in a stdlib
+``http.server`` endpoint (``repro serve-metrics``) with a ``/healthz``
+JSON view driven by the declarative health rules.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import MetricsRegistry, get_metrics, split_labeled
+from .trace import Tracer, get_tracer
+
+__all__ = [
+    "lint_exposition",
+    "make_metrics_server",
+    "sanitize_metric_name",
+    "to_prometheus",
+]
+
+#: Default scrape port (the Prometheus convention for ad-hoc exporters).
+DEFAULT_PORT = 9464
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>[^ ]+)(?: [0-9]+)?$"
+)
+_LABEL_PAIR = re.compile(r'^(?P<key>[^=]+)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+
+def sanitize_metric_name(name: str, namespace: str = "repro") -> str:
+    """Map a registry name to a legal Prometheus metric name.
+
+    Dots and other illegal characters collapse to underscores and the
+    namespace is prefixed: ``reader.read_rate_hz`` ->
+    ``repro_reader_read_rate_hz``.
+    """
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return f"{namespace}_{cleaned}" if namespace else cleaned
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _group_by_family(
+    flat: Mapping[str, Any], namespace: str
+) -> "Dict[str, List[Tuple[Dict[str, str], Any]]]":
+    """Group ``name{labels}`` flat keys into exposition families."""
+    families: Dict[str, List[Tuple[Dict[str, str], Any]]] = {}
+    for key in sorted(flat):
+        name, labels = split_labeled(key)
+        families.setdefault(sanitize_metric_name(name, namespace), []).append(
+            (labels, flat[key])
+        )
+    return families
+
+
+def to_prometheus(
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    namespace: str = "repro",
+) -> str:
+    """Render the registry (and span aggregates) as text exposition.
+
+    When a tracer is given, per-path span aggregates are exported as the
+    ``<ns>_span_p95_seconds`` / ``<ns>_span_total_seconds`` gauge
+    families and a ``<ns>_span_count_total`` counter family, labelled by
+    span path — the scrape-side view of ``repro stats``'s span tree.
+    """
+    metrics = metrics if metrics is not None else get_metrics()
+    state = metrics.state()
+    lines: List[str] = []
+
+    for family, series in _group_by_family(state["counters"], namespace).items():
+        fam = family + "_total"
+        lines.append(f"# TYPE {fam} counter")
+        for labels, value in series:
+            lines.append(f"{fam}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    for family, series in _group_by_family(state["gauges"], namespace).items():
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in series:
+            lines.append(f"{family}{_fmt_labels(labels)} {_fmt_value(value)}")
+
+    for family, series in _group_by_family(state["histograms"], namespace).items():
+        lines.append(f"# TYPE {family} histogram")
+        for labels, hist_state in series:
+            cumulative = 0
+            bounds = list(hist_state["bounds"]) + [float("inf")]
+            for bound, count in zip(bounds, hist_state["counts"]):
+                cumulative += count
+                bucket_labels = dict(labels)
+                bucket_labels["le"] = _fmt_value(bound)
+                lines.append(
+                    f"{family}_bucket{_fmt_labels(bucket_labels)} {cumulative}"
+                )
+            lines.append(
+                f"{family}_sum{_fmt_labels(labels)} "
+                f"{_fmt_value(hist_state['total'])}"
+            )
+            lines.append(f"{family}_count{_fmt_labels(labels)} {hist_state['count']}")
+
+    if tracer is not None:
+        agg = tracer.aggregate()
+        if agg:
+            count_fam = f"{namespace}_span_count_total"
+            p95_fam = f"{namespace}_span_p95_seconds"
+            total_fam = f"{namespace}_span_total_seconds"
+            lines.append(f"# TYPE {count_fam} counter")
+            for path, stats in agg.items():
+                lines.append(
+                    f'{count_fam}{{path="{_escape(path)}"}} '
+                    f"{_fmt_value(stats['count'])}"
+                )
+            lines.append(f"# TYPE {p95_fam} gauge")
+            for path, stats in agg.items():
+                lines.append(
+                    f'{p95_fam}{{path="{_escape(path)}"}} '
+                    f"{_fmt_value(stats['p95_s'])}"
+                )
+            lines.append(f"# TYPE {total_fam} gauge")
+            for path, stats in agg.items():
+                lines.append(
+                    f'{total_fam}{{path="{_escape(path)}"}} '
+                    f"{_fmt_value(stats['total_s'])}"
+                )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Exposition-format lint.
+
+
+def _lint_labels(raw: str, problems: List[str], line_no: int) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    if not raw:
+        return labels
+    # Split on commas outside quotes.
+    parts, depth, current = [], False, ""
+    for ch in raw:
+        if ch == '"' and not current.endswith("\\"):
+            depth = not depth
+        if ch == "," and not depth:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current:
+        parts.append(current)
+    for part in parts:
+        m = _LABEL_PAIR.match(part)
+        if m is None:
+            problems.append(f"line {line_no}: malformed label pair {part!r}")
+            continue
+        key = m.group("key")
+        if not _LABEL_OK.match(key):
+            problems.append(f"line {line_no}: illegal label name {key!r}")
+        labels[key] = m.group("value")
+    return labels
+
+
+def lint_exposition(text: str) -> List[str]:
+    """Validate Prometheus text exposition; returns a list of problems.
+
+    An empty list means the document passes.  Checks the subset the
+    exporter emits: metric/label name charsets, numeric values, a
+    ``# TYPE`` header preceding every family's samples, valid TYPE
+    values, histogram bucket cumulativity, and ``le="+Inf"`` termination.
+    """
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    # histogram family -> labels-key -> (last cumulative, saw +Inf)
+    buckets: Dict[str, Dict[str, Tuple[float, bool]]] = {}
+
+    def family_of(sample_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in typed:
+                    return base
+        return sample_name
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split()
+            if len(fields) >= 2 and fields[1] == "TYPE":
+                if len(fields) != 4:
+                    problems.append(f"line {line_no}: malformed # TYPE line")
+                    continue
+                _, _, name, kind = fields
+                if not _NAME_OK.match(name):
+                    problems.append(
+                        f"line {line_no}: illegal metric name {name!r} in TYPE"
+                    )
+                if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    problems.append(f"line {line_no}: unknown metric type {kind!r}")
+                if name in typed:
+                    problems.append(f"line {line_no}: duplicate TYPE for {name!r}")
+                typed[name] = kind
+            continue
+        m = _SAMPLE_LINE.match(line)
+        if m is None:
+            problems.append(f"line {line_no}: unparseable sample line {line!r}")
+            continue
+        name = m.group("name")
+        if not _NAME_OK.match(name):
+            problems.append(f"line {line_no}: illegal metric name {name!r}")
+        labels = _lint_labels(m.group("labels") or "", problems, line_no)
+        value_text = m.group("value")
+        if value_text not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value_text)
+            except ValueError:
+                problems.append(
+                    f"line {line_no}: non-numeric sample value {value_text!r}"
+                )
+                continue
+        family = family_of(name)
+        if family not in typed:
+            problems.append(
+                f"line {line_no}: sample {name!r} has no preceding # TYPE"
+            )
+            continue
+        if typed[family] == "histogram" and name.endswith("_bucket"):
+            le = labels.get("le")
+            if le is None:
+                problems.append(f"line {line_no}: histogram bucket without le label")
+                continue
+            series_key = json.dumps(
+                {k: v for k, v in sorted(labels.items()) if k != "le"}
+            )
+            last, saw_inf = buckets.setdefault(family, {}).get(
+                series_key, (float("-inf"), False)
+            )
+            cumulative = float(value_text)
+            if cumulative < last:
+                problems.append(
+                    f"line {line_no}: histogram {family!r} buckets not cumulative"
+                )
+            buckets[family][series_key] = (cumulative, saw_inf or le == "+Inf")
+
+    for family, series in buckets.items():
+        for series_key, (_, saw_inf) in series.items():
+            if not saw_inf:
+                problems.append(
+                    f"histogram {family!r} series {series_key} missing le=\"+Inf\""
+                )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Scrape endpoint (stdlib http.server; `repro serve-metrics`).
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    server_version = "repro-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        server: "MetricsServer" = self.server  # type: ignore[assignment]
+        if self.path.split("?")[0] == "/metrics":
+            body = to_prometheus(server.metrics, server.tracer).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            server.note_request()
+        elif self.path.split("?")[0] == "/healthz":
+            from .health import evaluate_rules, worst_status
+
+            findings = evaluate_rules(
+                server.rules, metrics=server.metrics, tracer=server.tracer,
+                hub=server.hub,
+            )
+            worst = worst_status(findings)
+            body = json.dumps(
+                {"status": worst, "findings": [f.to_dict() for f in findings]},
+                sort_keys=True,
+            ).encode("utf-8")
+            self.send_response(503 if worst == "fail" else 200)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            server.note_request()
+        else:
+            self.send_response(404)
+            self.end_headers()
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        from .log import get_logger
+
+        get_logger("obs.export").debug("scrape %s", fmt % args)
+
+
+class MetricsServer(ThreadingHTTPServer):
+    """A ``/metrics`` + ``/healthz`` endpoint over the live registries.
+
+    ``max_requests`` > 0 shuts the server down after that many successful
+    scrapes (the smoke-test mode used by ``scripts/check.sh``); 0 serves
+    until interrupted.
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        rules: Optional[list] = None,
+        hub: Optional[Any] = None,
+        max_requests: int = 0,
+    ) -> None:
+        super().__init__(address, _MetricsHandler)
+        self._explicit_metrics = metrics
+        self._explicit_tracer = tracer
+        self.rules = rules if rules is not None else []
+        self.hub = hub
+        self.max_requests = max_requests
+        self._served = 0
+
+    # Resolved lazily so the server sees scoped registries in tests.
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._explicit_metrics or get_metrics()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._explicit_tracer or get_tracer()
+
+    def note_request(self) -> None:
+        self._served += 1
+        if self.max_requests and self._served >= self.max_requests:
+            # shutdown() blocks until serve_forever returns, so it must
+            # run off the handler thread's call stack.
+            threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def make_metrics_server(
+    port: int = DEFAULT_PORT,
+    host: str = "127.0.0.1",
+    metrics: Optional[MetricsRegistry] = None,
+    tracer: Optional[Tracer] = None,
+    rules: Optional[list] = None,
+    hub: Optional[Any] = None,
+    max_requests: int = 0,
+) -> MetricsServer:
+    """Bind (but do not start) the scrape server; port 0 picks a free one."""
+    return MetricsServer(
+        (host, port),
+        metrics=metrics,
+        tracer=tracer,
+        rules=rules,
+        hub=hub,
+        max_requests=max_requests,
+    )

@@ -25,9 +25,54 @@ against ``numpy.percentile``.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence
+import re
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-__all__ = ["Histogram", "MetricsRegistry", "get_metrics", "default_buckets"]
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "default_buckets",
+    "labeled_name",
+    "scoped_metrics",
+    "split_labeled",
+]
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def labeled_name(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """Canonical flat key for an instrument with labels.
+
+    Labels are sorted by key so the same label set always produces the
+    same key: ``labeled_name("stream.lag_s", {"session": "s1"})`` ->
+    ``'stream.lag_s{session="s1"}'``.  No labels returns the bare name.
+    """
+    if not labels:
+        return name
+    parts = ",".join(
+        f'{k}="{_escape_label_value(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return f"{name}{{{parts}}}"
+
+
+_LABELED_RE = re.compile(r"^([^{]+)\{(.*)\}$")
+_LABEL_PAIR_RE = re.compile(r'([A-Za-z_][A-Za-z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def split_labeled(key: str) -> Tuple[str, Dict[str, str]]:
+    """Inverse of :func:`labeled_name`: flat key -> (name, labels)."""
+    m = _LABELED_RE.match(key)
+    if m is None:
+        return key, {}
+    labels = {
+        k: v.replace('\\"', '"').replace("\\n", "\n").replace("\\\\", "\\")
+        for k, v in _LABEL_PAIR_RE.findall(m.group(2))
+    }
+    return m.group(1), labels
 
 
 def default_buckets() -> List[float]:
@@ -115,6 +160,56 @@ class Histogram:
             "max": self.max,
         }
 
+    # -- merge / serialization (the cross-process telemetry contract) --
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram into this one, in place.
+
+        Requires identical bucket bounds (the merge of differently
+        bucketed histograms has no exact meaning).  Merging is
+        commutative and associative: bucket counts, count, and total
+        add; min/max take the extremum — so any merge tree over the same
+        set of histograms yields the same state.  Returns ``self``.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                "cannot merge histograms with different bucket bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} bounds)"
+            )
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def state(self) -> Dict[str, Any]:
+        """Full serializable state (JSON-safe; inf min/max elided)."""
+        out: Dict[str, Any] = {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+        }
+        if self.count:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    @classmethod
+    def from_state(cls, state: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`state` output."""
+        hist = cls(state["bounds"])
+        counts = list(state["counts"])
+        if len(counts) != len(hist.counts):
+            raise ValueError("histogram state counts do not match bounds")
+        hist.counts = counts
+        hist.count = int(state["count"])
+        hist.total = float(state["total"])
+        hist.min = float(state.get("min", float("inf")))
+        hist.max = float(state.get("max", float("-inf")))
+        return hist
+
 
 class MetricsRegistry:
     """Named counters / gauges / histograms, no-ops until enabled."""
@@ -145,19 +240,40 @@ class MetricsRegistry:
 
     # -- hot-path mutators (cheap, no-op when disabled) ----------------
 
-    def inc(self, name: str, value: float = 1.0) -> None:
+    def inc(
+        self,
+        name: str,
+        value: float = 1.0,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if not self._enabled:
             return
+        if labels:
+            name = labeled_name(name, labels)
         self._counters[name] = self._counters.get(name, 0.0) + value
 
-    def set_gauge(self, name: str, value: float) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if not self._enabled:
             return
+        if labels:
+            name = labeled_name(name, labels)
         self._gauges[name] = value
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
         if not self._enabled:
             return
+        if labels:
+            name = labeled_name(name, labels)
         hist = self._histograms.get(name)
         if hist is None:
             hist = self._histograms[name] = Histogram()
@@ -171,6 +287,10 @@ class MetricsRegistry:
         if hist is None:
             hist = self._histograms[name] = Histogram(buckets)
         return hist
+
+    def get_histogram(self, name: str) -> Optional[Histogram]:
+        """The named histogram, or ``None`` — never creates one."""
+        return self._histograms.get(name)
 
     def counter_value(self, name: str) -> float:
         return self._counters.get(name, 0.0)
@@ -188,6 +308,37 @@ class MetricsRegistry:
                 for name in sorted(self._histograms)
             },
         }
+
+    def state(self) -> Dict[str, Any]:
+        """Full mergeable state: like :meth:`snapshot`, but histograms
+        carry their complete bucket state instead of a lossy summary."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                name: self._histograms[name].state()
+                for name in sorted(self._histograms)
+            },
+        }
+
+    def merge_state(self, state: Mapping[str, Any]) -> None:
+        """Fold a :meth:`state` dict (e.g. from a worker process) in.
+
+        Counters add, gauges are last-write-wins (the merged state's
+        value replaces ours), histograms bucket-merge.  Merging is an
+        explicit administrative operation, so it applies even while the
+        registry is disabled.
+        """
+        for name, value in state.get("counters", {}).items():
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        self._gauges.update(state.get("gauges", {}))
+        for name, hist_state in state.get("histograms", {}).items():
+            incoming = Histogram.from_state(hist_state)
+            existing = self._histograms.get(name)
+            if existing is None:
+                self._histograms[name] = incoming
+            else:
+                existing.merge(incoming)
 
     def render(self) -> str:
         """Human-readable dump of every instrument (the `stats` view)."""
@@ -216,3 +367,22 @@ _GLOBAL_METRICS = MetricsRegistry(enabled=False)
 def get_metrics() -> MetricsRegistry:
     """The module-level metrics singleton (disabled until enabled)."""
     return _GLOBAL_METRICS
+
+
+@contextmanager
+def scoped_metrics(registry: Optional[MetricsRegistry] = None) -> Iterator[MetricsRegistry]:
+    """Temporarily swap the process-wide registry for an isolated one.
+
+    Everything instrumented with :func:`get_metrics` records into the
+    scoped registry for the duration of the ``with`` block; the previous
+    singleton (and whatever it had recorded) is restored on exit.  Used
+    by benchmarks and tests that need per-run measurement scoping.
+    """
+    global _GLOBAL_METRICS
+    scoped = registry if registry is not None else MetricsRegistry(enabled=True)
+    previous = _GLOBAL_METRICS
+    _GLOBAL_METRICS = scoped
+    try:
+        yield scoped
+    finally:
+        _GLOBAL_METRICS = previous

@@ -1,0 +1,321 @@
+"""Cross-process telemetry: snapshots, merging, and time-series sampling.
+
+PR 1 made the pipeline observable *within one process*; this module makes
+observability survive two boundaries:
+
+* **process boundaries** — a :class:`TelemetrySnapshot` is the
+  serializable (pickle- and JSON-safe) capture of everything a tracer and
+  metrics registry recorded: span records, counter totals, gauge values,
+  and full-state fixed-bucket histograms.  Process-pool workers capture a
+  per-trial delta snapshot (``capture_snapshot(reset=True)``) and ship it
+  back with the trial result; the parent folds it in with
+  :func:`merge_snapshot`, so ``repro stats`` shows identical counter
+  totals whether a battery ran on 1 worker or 8 (see
+  ``repro.sim.parallel``);
+* **time** — a :class:`TelemetryHub` samples the registries on an
+  interval into a bounded ring buffer, giving ``repro top``, health
+  rules, and the ``--metrics-out`` JSONL export a windowed time series
+  instead of a single end-of-run total.
+
+Merge semantics (the telemetry contract, DESIGN.md §12):
+
+* counters **add** — a counter is a monotone total, so per-process deltas
+  sum;
+* gauges are **last-write-wins** in merge order — a gauge is a point
+  reading, and snapshots are merged in submission order, so the result is
+  deterministic;
+* histograms **bucket-merge** (:meth:`repro.obs.metrics.Histogram.merge`)
+  — commutative and associative because bucket counts, count, and total
+  add and min/max take extrema;
+* spans **append** — durations and paths are preserved; ``start_s`` stays
+  in the origin process's clock domain, so only durations (not absolute
+  times) are comparable across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple, Union
+
+from .metrics import Histogram, MetricsRegistry, get_metrics
+from .trace import Tracer, get_tracer
+
+__all__ = [
+    "TelemetryHub",
+    "TelemetrySnapshot",
+    "capture_snapshot",
+    "merge_snapshot",
+]
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Serializable capture of one registry pair's recorded telemetry.
+
+    ``spans`` holds :meth:`repro.obs.trace.Span.to_dict` records;
+    ``histograms`` maps names to full
+    :meth:`repro.obs.metrics.Histogram.state` dicts (bounds + bucket
+    counts), so merging is exact — not a lossy summary merge.
+    """
+
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges or self.histograms)
+
+    def merge(self, other: "TelemetrySnapshot") -> "TelemetrySnapshot":
+        """Fold ``other`` into this snapshot in place (see module doc)."""
+        self.spans.extend(other.spans)
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        self.gauges.update(other.gauges)
+        for name, state in other.histograms.items():
+            if name in self.histograms:
+                merged = Histogram.from_state(self.histograms[name])
+                merged.merge(Histogram.from_state(state))
+                self.histograms[name] = merged.state()
+            else:
+                self.histograms[name] = dict(state)
+        return self
+
+    def to_json(self) -> str:
+        """Stable JSON encoding (keys sorted) for export or transport."""
+        return json.dumps(
+            {
+                "spans": self.spans,
+                "counters": self.counters,
+                "gauges": self.gauges,
+                "histograms": self.histograms,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TelemetrySnapshot":
+        doc = json.loads(text)
+        return cls(
+            spans=list(doc.get("spans", [])),
+            counters=dict(doc.get("counters", {})),
+            gauges=dict(doc.get("gauges", {})),
+            histograms=dict(doc.get("histograms", {})),
+        )
+
+
+def capture_snapshot(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    reset: bool = False,
+) -> TelemetrySnapshot:
+    """Capture everything the tracer/registry currently hold.
+
+    Defaults to the process singletons.  ``reset=True`` clears both after
+    the capture, which is what gives workers *delta* semantics: capture
+    at the end of each task and the snapshot holds exactly that task's
+    telemetry.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    state = metrics.state()
+    snap = TelemetrySnapshot(
+        spans=[s.to_dict() for s in tracer.finished],
+        counters=state["counters"],
+        gauges=state["gauges"],
+        histograms=state["histograms"],
+    )
+    if reset:
+        tracer.reset()
+        metrics.reset()
+    return snap
+
+
+def merge_snapshot(
+    snapshot: TelemetrySnapshot,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    span_attrs: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Fold a snapshot into a tracer/registry pair (default: singletons).
+
+    ``span_attrs`` is stamped onto every ingested span — the parallel
+    runner marks relayed spans with ``{"relayed": True}`` so a trace
+    export distinguishes worker spans from parent spans.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    if snapshot.spans:
+        tracer.ingest(snapshot.spans, extra_attrs=span_attrs)
+    metrics.merge_state(
+        {
+            "counters": snapshot.counters,
+            "gauges": snapshot.gauges,
+            "histograms": snapshot.histograms,
+        }
+    )
+
+
+class TelemetryHub:
+    """Interval sampler over the live registries, into a ring buffer.
+
+    Each sample is a JSON-safe dict::
+
+        {"t": <monotonic seconds>, "counters": {...}, "gauges": {...},
+         "histograms": {name: summary}, "spans": {path: {count, p95_s, ...}}}
+
+    The buffer is bounded (``capacity`` samples, oldest dropped first;
+    drops are counted in :attr:`dropped`), so a long-running ``repro
+    serve-metrics`` or ``repro top`` holds O(capacity) memory regardless
+    of uptime.  Sampling cost is O(instruments): one dict copy of the
+    counters/gauges plus a summary per histogram and span path — a few
+    hundred microseconds for the full pipeline's instrument set, bounded
+    and measured in ``tests/obs/test_telemetry.py``.
+
+    ``start()`` runs the sampler on a daemon thread; for deterministic
+    tests call :meth:`sample` directly (optionally with an explicit
+    ``now``).  The hub never *enables* the registries — callers decide
+    what is recording; the hub only reads.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        interval_s: float = 1.0,
+        capacity: int = 512,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise ValueError("sampling interval must be positive")
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self._metrics = metrics
+        self._tracer = tracer
+        self.interval_s = interval_s
+        self.capacity = capacity
+        self._clock = clock
+        self._samples: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # Registries are resolved at sample time, not construction time, so a
+    # hub built before a scoped_metrics() block samples the scoped registry.
+    def _registries(self) -> Tuple[MetricsRegistry, Tracer]:
+        metrics = self._metrics if self._metrics is not None else get_metrics()
+        tracer = self._tracer if self._tracer is not None else get_tracer()
+        return metrics, tracer
+
+    # -- sampling ------------------------------------------------------
+
+    def sample(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """Take one sample, append it to the ring, and return it."""
+        metrics, tracer = self._registries()
+        snap = metrics.snapshot()
+        record = {
+            "t": self._clock() if now is None else float(now),
+            "counters": snap["counters"],
+            "gauges": snap["gauges"],
+            "histograms": snap["histograms"],
+            "spans": tracer.aggregate(),
+        }
+        with self._lock:
+            if len(self._samples) == self._samples.maxlen:
+                self.dropped += 1
+            self._samples.append(record)
+        return record
+
+    @property
+    def samples(self) -> List[Dict[str, Any]]:
+        """The retained samples, oldest first (a copy)."""
+        with self._lock:
+            return list(self._samples)
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+    # -- background sampling -------------------------------------------
+
+    def start(self) -> None:
+        """Start sampling every ``interval_s`` on a daemon thread."""
+        if self._thread is not None:
+            raise RuntimeError("hub sampler already running")
+        self._stop.clear()
+
+        def _loop() -> None:
+            while not self._stop.wait(self.interval_s):
+                self.sample()
+
+        self._thread = threading.Thread(
+            target=_loop, name="repro-telemetry-hub", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, final_sample: bool = True) -> None:
+        """Stop the sampler thread (no-op if not running)."""
+        if self._thread is None:
+            if final_sample:
+                self.sample()
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        if final_sample:
+            self.sample()
+
+    # -- reading the series --------------------------------------------
+
+    def gauge_series(self, name: str) -> List[Tuple[float, float]]:
+        """(t, value) points for one gauge across the retained window."""
+        out = []
+        for record in self.samples:
+            value = record["gauges"].get(name)
+            if value is not None:
+                out.append((record["t"], value))
+        return out
+
+    def counter_series(self, name: str) -> List[Tuple[float, float]]:
+        """(t, total) points for one counter across the retained window."""
+        out = []
+        for record in self.samples:
+            value = record["counters"].get(name)
+            if value is not None:
+                out.append((record["t"], value))
+        return out
+
+    def counter_rate(self, name: str) -> Optional[float]:
+        """Per-second rate of a counter over the last two samples."""
+        series = self.counter_series(name)
+        if len(series) < 2:
+            return None
+        (t0, v0), (t1, v1) = series[-2], series[-1]
+        if t1 <= t0:
+            return None
+        return (v1 - v0) / (t1 - t0)
+
+    # -- export --------------------------------------------------------
+
+    def export_jsonl(self, target: Union[str, IO[str]]) -> int:
+        """Write the retained samples as JSON Lines; returns the count.
+
+        One object per line, keys sorted — the ``--metrics-out`` format.
+        """
+        samples = self.samples
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as fh:
+                return self._write_jsonl(fh, samples)
+        return self._write_jsonl(target, samples)
+
+    @staticmethod
+    def _write_jsonl(fh: IO[str], samples: List[Dict[str, Any]]) -> int:
+        for record in samples:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(samples)

@@ -32,9 +32,10 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Callable, Dict, IO, List, Optional, Union
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, IO, Iterator, List, Mapping, Optional, Union
 
-__all__ = ["Span", "Tracer", "get_tracer", "percentile"]
+__all__ = ["Span", "Tracer", "get_tracer", "percentile", "scoped_tracer"]
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -200,6 +201,34 @@ class Tracer:
             if top is span:
                 break
 
+    def ingest(
+        self,
+        records: List[Dict[str, Any]],
+        extra_attrs: Optional[Mapping[str, Any]] = None,
+    ) -> int:
+        """Append completed spans from another tracer's export records.
+
+        ``records`` are :meth:`Span.to_dict` dicts, typically captured in
+        a worker process and relayed with its results.  Paths, depths,
+        and durations are preserved; ``start_s`` stays in the origin
+        process's clock domain (only durations are comparable across
+        processes).  ``extra_attrs`` is stamped onto every ingested span
+        (e.g. ``{"relayed": True}``).  Returns the ingested count.
+        """
+        for record in records:
+            span = Span(
+                record["name"],
+                record["path"],
+                int(record["depth"]),
+                float(record["start_s"]),
+            )
+            span.end = span.start + float(record["duration_s"])
+            span.attrs.update(record.get("attrs", {}))
+            if extra_attrs:
+                span.attrs.update(extra_attrs)
+            self._spans.append(span)
+        return len(records)
+
     # -- reading back --------------------------------------------------
 
     @property
@@ -302,3 +331,22 @@ _GLOBAL_TRACER = Tracer(enabled=False)
 def get_tracer() -> Tracer:
     """The module-level tracer singleton (disabled until enabled)."""
     return _GLOBAL_TRACER
+
+
+@contextmanager
+def scoped_tracer(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Temporarily swap the process-wide tracer for an isolated one.
+
+    Mirrors :func:`repro.obs.metrics.scoped_metrics`: instrumentation
+    reached through :func:`get_tracer` records into the scoped tracer
+    for the duration of the block, and the previous singleton is
+    restored on exit.
+    """
+    global _GLOBAL_TRACER
+    scoped = tracer if tracer is not None else Tracer(enabled=True)
+    previous = _GLOBAL_TRACER
+    _GLOBAL_TRACER = scoped
+    try:
+        yield scoped
+    finally:
+        _GLOBAL_TRACER = previous

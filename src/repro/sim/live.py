@@ -48,6 +48,7 @@ def stream_log(
     chunk_s: float = 0.1,
     bounded: bool = True,
     session: Optional[StreamingSession] = None,
+    session_id: Optional[str] = None,
 ) -> Iterable[StreamEvent]:
     """Run a whole log through a streaming session, yielding events live.
 
@@ -56,7 +57,7 @@ def stream_log(
     :class:`~repro.stream.LetterEvent`.
     """
     if session is None:
-        session = StreamingSession(pad, bounded=bounded)
+        session = StreamingSession(pad, bounded=bounded, session_id=session_id)
     for chunk in iter_chunks(log, chunk_s):
         yield from session.ingest(chunk)
     yield from session.finalize()
@@ -77,15 +78,19 @@ class LiveDriver:
         runner: SessionRunner,
         chunk_s: float = 0.1,
         bounded: bool = True,
+        session_id: Optional[str] = None,
     ) -> None:
         self.runner = runner
         self.chunk_s = chunk_s
         self.bounded = bounded
+        self.session_id = session_id
 
     def run_script(self, script: WritingScript) -> StreamingSession:
         """Collect one session and stream it; returns the finished session."""
         log = self.runner.run_script(script)
-        session = StreamingSession(self.runner.pad, bounded=self.bounded)
+        session = StreamingSession(
+            self.runner.pad, bounded=self.bounded, session_id=self.session_id
+        )
         for _ in stream_log(
             self.runner.pad, log, self.chunk_s, session=session
         ):

@@ -21,8 +21,19 @@ or per experiment run (:func:`workers_override`, wired to the CLI's
 ``--workers`` flag).
 
 Caveats: each worker pays one deployment build + static calibration at
-startup, and tracer spans / metrics recorded inside workers stay in the
-worker process (the observability registries are per-process).
+startup.
+
+**Telemetry relay.**  When the parent's tracer or metrics registry is
+enabled at pool-build time, each worker enables its own registries and
+ships a per-trial delta :class:`~repro.obs.telemetry.TelemetrySnapshot`
+(spans + counter/gauge deltas + mergeable histograms) back alongside the
+trial result; the parent folds every snapshot into its own registries in
+submission order.  Worker-side *calibration* telemetry is discarded (each
+worker calibrates once, so it would scale with the worker count), which
+makes the merged counter totals worker-count invariant: ``workers=1`` and
+``workers=8`` report bit-identical totals in ``repro stats``.  Relayed
+spans carry ``attrs["relayed"] = True`` and keep their worker-local
+``start_s`` (only durations are cross-process comparable).
 """
 
 from __future__ import annotations
@@ -93,35 +104,72 @@ def trial_rng(seed: int, trial_index: int) -> np.random.Generator:
 # global), then every task reseeds it with the trial's own stream.
 
 _worker_runner: "SessionRunner | None" = None
+_worker_telemetry: bool = False
 
 
-def _init_worker(scenario_config, pipeline_config, calibration_duration) -> None:
-    global _worker_runner
+def _init_worker(
+    scenario_config, pipeline_config, calibration_duration, telemetry
+) -> None:
+    global _worker_runner, _worker_telemetry
+    from ..obs.metrics import get_metrics
+    from ..obs.telemetry import capture_snapshot
+    from ..obs.trace import get_tracer
     from .runner import SessionRunner
     from .scenario import build_scenario
 
+    trace_on, metrics_on = telemetry
+    _worker_telemetry = bool(trace_on or metrics_on)
+    if trace_on:
+        get_tracer().enable()
+    else:
+        get_tracer().disable()
+    if metrics_on:
+        get_metrics().enable()
+    else:
+        get_metrics().disable()
     _worker_runner = SessionRunner(
         build_scenario(scenario_config),
         pipeline_config=pipeline_config,
         calibration_duration=calibration_duration,
     )
+    if _worker_telemetry:
+        # Discard init-time telemetry (per-worker calibration, plus any
+        # state a fork start method copied from the parent) so every
+        # shipped snapshot is exactly one trial's delta and merged totals
+        # do not depend on the worker count.
+        capture_snapshot(reset=True)
+
+
+def _task_snapshot():
+    if not _worker_telemetry:
+        return None
+    from ..obs.telemetry import capture_snapshot
+
+    return capture_snapshot(reset=True)
 
 
 def _motion_task(task: "Tuple[int, Motion, UserProfile, Optional[float]]"):
     index, motion, user, speed = task
     runner = _worker_runner
     runner.reseed(trial_rng(runner.scenario.config.seed, index))
-    return runner.run_motion(motion, user=user, speed=speed)
+    trial = runner.run_motion(motion, user=user, speed=speed)
+    return trial, _task_snapshot()
 
 
 def _letter_task(task: "Tuple[int, str, UserProfile]"):
     index, letter, user = task
     runner = _worker_runner
     runner.reseed(trial_rng(runner.scenario.config.seed, index))
-    return runner.run_letter(letter, user=user)
+    trial = runner.run_letter(letter, user=user)
+    return trial, _task_snapshot()
 
 
 def _run_pool(runner: "SessionRunner", workers: int, task_fn, tasks: list) -> list:
+    from ..obs.metrics import get_metrics
+    from ..obs.telemetry import merge_snapshot
+    from ..obs.trace import get_tracer
+
+    tracer, metrics = get_tracer(), get_metrics()
     with ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
@@ -129,11 +177,26 @@ def _run_pool(runner: "SessionRunner", workers: int, task_fn, tasks: list) -> li
             runner.scenario.config,
             runner._pipeline_config,
             runner._calibration_duration,
+            (tracer.enabled, metrics.enabled),
         ),
     ) as pool:
         # Executor.map yields results in submission order regardless of
-        # which worker finishes first — the merge is deterministic.
-        return list(pool.map(task_fn, tasks))
+        # which worker finishes first — both the trial list and the
+        # telemetry merge below are deterministic.
+        results = list(pool.map(task_fn, tasks))
+    trials = []
+    relayed = 0
+    for trial, snapshot in results:
+        trials.append(trial)
+        if snapshot is not None and not snapshot.is_empty:
+            merge_snapshot(
+                snapshot, tracer=tracer, metrics=metrics,
+                span_attrs={"relayed": True},
+            )
+            relayed += 1
+    if metrics.enabled and relayed:
+        metrics.inc("parallel.snapshots_merged", float(relayed))
+    return trials
 
 
 def run_motion_battery_parallel(

@@ -155,6 +155,7 @@ class SessionRunner:
         from .parallel import resolve_workers, run_motion_battery_parallel
 
         n_workers = resolve_workers(workers)
+        self._note_battery(n_workers)
         if n_workers <= 0:
             trials = []
             for motion in motions:
@@ -164,6 +165,13 @@ class SessionRunner:
         return run_motion_battery_parallel(
             self, motions, repeats, user=user, workers=n_workers
         )
+
+    @staticmethod
+    def _note_battery(n_workers: int) -> None:
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("runner.batteries")
+            metrics.set_gauge("runner.battery_workers", float(max(n_workers, 0)))
 
     def run_letter(
         self, letter: str, user: UserProfile = DEFAULT_USER
@@ -198,6 +206,7 @@ class SessionRunner:
         from .parallel import resolve_workers, run_letter_battery_parallel
 
         n_workers = resolve_workers(workers)
+        self._note_battery(n_workers)
         if n_workers <= 0:
             trials = []
             for letter in letters:

@@ -32,7 +32,11 @@ Observability: each chunk runs under a ``stream.chunk`` span;
 ``stream.buffered_reads`` / ``stream.lag_s`` gauges track the retention
 buffer, and ``stream.event_latency_s`` is the end-to-end histogram of
 (emission time − window close time) in stream time, surfaced by
-``repro stats``.
+``repro stats``.  Sessions constructed with a ``session_id`` additionally
+publish their gauges under a ``{"session": id}`` label
+(``stream.buffered_reads{session="pad-3"}``), so a multi-session serving
+layer can tell its tenants apart on a Prometheus scrape while the
+unlabeled aggregate gauges keep reflecting the most recent activity.
 """
 
 from __future__ import annotations
@@ -93,15 +97,26 @@ class StreamingSession:
         retain the whole stream — only useful for the quiet-log fallback
         of :meth:`motion_result`, which then matches batch
         ``detect_motion`` exactly even for window-less sessions.
+    session_id:
+        Optional tenant identity.  When set, the session's gauges are
+        *also* published under a ``{"session": session_id}`` label so
+        concurrent sessions stay distinguishable on a scrape.
     """
 
-    def __init__(self, pad: RFIPad, bounded: bool = True) -> None:
+    def __init__(
+        self,
+        pad: RFIPad,
+        bounded: bool = True,
+        session_id: Optional[str] = None,
+    ) -> None:
         self._ctx: StageContext = pad.stage_context()
         stages = pad.stages
         self._analyzer: WindowAnalyzer = stages.analyzer
         self._grammar: GrammarStage = stages.grammar
         self._segmenter: StreamSegmenter = stages.segmentation.stream(self._ctx)
         self.bounded = bounded
+        self.session_id = session_id
+        self._labels = {"session": session_id} if session_id else None
         self._buffer = ReportLog()
         self._events: List[StreamEvent] = []
         self._windows: List[SegmentedWindow] = []
@@ -135,10 +150,20 @@ class StreamingSession:
             if dropped:
                 metrics.inc("stream.dropped_reads", float(dropped))
             metrics.set_gauge("stream.buffered_reads", float(len(self._buffer)))
+            if self._labels:
+                metrics.set_gauge(
+                    "stream.buffered_reads", float(len(self._buffer)),
+                    labels=self._labels,
+                )
             if self._now is not None:
                 horizon = self.retention_time
                 if horizon is not None:
                     metrics.set_gauge("stream.lag_s", self._now - horizon)
+                    if self._labels:
+                        metrics.set_gauge(
+                            "stream.lag_s", self._now - horizon,
+                            labels=self._labels,
+                        )
         return events
 
     def finalize(self) -> List[StreamEvent]:

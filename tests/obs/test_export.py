@@ -1,0 +1,202 @@
+"""Prometheus exposition, lint, and scrape-server tests."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    lint_exposition,
+    make_metrics_server,
+    sanitize_metric_name,
+    to_prometheus,
+)
+from repro.obs.health import default_rules
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def _filled_registry() -> MetricsRegistry:
+    metrics = MetricsRegistry(enabled=True)
+    metrics.inc("reader.reads", 42.0)
+    metrics.set_gauge("reader.read_rate_hz", 215.9)
+    metrics.set_gauge("stream.lag_s", 0.5, labels={"session": "pad-1"})
+    metrics.observe("stream.event_latency_s", 0.1)
+    metrics.observe("stream.event_latency_s", 0.7)
+    return metrics
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("reader.read_rate_hz") == (
+            "repro_reader_read_rate_hz"
+        )
+
+    def test_leading_digit_gets_prefixed(self):
+        assert sanitize_metric_name("5g.rate", namespace="") == "_5g_rate"
+
+    def test_namespace_optional(self):
+        assert sanitize_metric_name("a.b", namespace="") == "a_b"
+
+
+class TestToPrometheus:
+    def test_counter_family(self):
+        text = to_prometheus(_filled_registry())
+        assert "# TYPE repro_reader_reads_total counter" in text
+        assert "repro_reader_reads_total 42.0" in text
+
+    def test_gauge_family_with_labels(self):
+        text = to_prometheus(_filled_registry())
+        assert "repro_reader_read_rate_hz 215.9" in text
+        assert 'repro_stream_lag_s{session="pad-1"} 0.5' in text
+
+    def test_histogram_expansion(self):
+        text = to_prometheus(_filled_registry())
+        lines = text.splitlines()
+        buckets = [
+            ln for ln in lines
+            if ln.startswith("repro_stream_event_latency_s_bucket")
+        ]
+        assert buckets[-1].startswith(
+            'repro_stream_event_latency_s_bucket{le="+Inf"} '
+        )
+        assert buckets[-1].endswith(" 2")
+        assert any(
+            ln.startswith("repro_stream_event_latency_s_count") and
+            ln.endswith(" 2")
+            for ln in lines
+        )
+
+    def test_span_families(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("detect_motion"):
+            with tracer.span("unwrap"):
+                pass
+        text = to_prometheus(MetricsRegistry(enabled=True), tracer)
+        assert 'repro_span_count_total{path="detect_motion"} 1.0' in text
+        assert 'repro_span_p95_seconds{path="detect_motion/unwrap"}' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert to_prometheus(MetricsRegistry(enabled=True)) == ""
+
+    def test_generated_output_lints_clean(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("detect_motion"):
+            pass
+        text = to_prometheus(_filled_registry(), tracer)
+        assert lint_exposition(text) == []
+
+
+class TestLint:
+    def test_illegal_metric_name(self):
+        problems = lint_exposition(
+            "# TYPE bad-name counter\nbad-name 1.0\n"
+        )
+        assert any("illegal metric name" in p for p in problems)
+
+    def test_sample_without_type_header(self):
+        problems = lint_exposition("repro_orphan 1.0\n")
+        assert any("no preceding # TYPE" in p for p in problems)
+
+    def test_unknown_type(self):
+        problems = lint_exposition("# TYPE repro_x exotic\nrepro_x 1.0\n")
+        assert any("unknown metric type" in p for p in problems)
+
+    def test_non_numeric_value(self):
+        problems = lint_exposition("# TYPE repro_x gauge\nrepro_x banana\n")
+        assert any("non-numeric" in p for p in problems)
+
+    def test_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 3\n"
+        )
+        problems = lint_exposition(text)
+        assert any("not cumulative" in p for p in problems)
+
+    def test_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="0.1"} 5\n'
+            "repro_h_sum 1.0\n"
+            "repro_h_count 5\n"
+        )
+        problems = lint_exposition(text)
+        assert any('missing le="+Inf"' in p for p in problems)
+
+    def test_corrupting_valid_output_is_caught(self):
+        text = to_prometheus(_filled_registry())
+        corrupted = text.replace("# TYPE repro_reader_reads_total counter\n", "")
+        assert lint_exposition(text) == []
+        assert lint_exposition(corrupted) != []
+
+
+class TestMetricsServer:
+    def _serve(self, **kw):
+        """Bind on an ephemeral port and serve on a background thread."""
+        server = make_metrics_server(port=0, **kw)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        return server, thread
+
+    def _get(self, server, path):
+        port = server.server_address[1]
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=10
+        ) as resp:
+            return resp.status, resp.headers, resp.read().decode("utf-8")
+
+    def test_scrape_metrics(self):
+        metrics = _filled_registry()
+        server, thread = self._serve(metrics=metrics, tracer=Tracer())
+        try:
+            status, headers, body = self._get(server, "/metrics")
+            assert status == 200
+            assert headers["Content-Type"].startswith("text/plain")
+            assert "version=0.0.4" in headers["Content-Type"]
+            assert lint_exposition(body) == []
+            assert "repro_reader_reads_total 42.0" in body
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+
+    def test_healthz_and_404(self):
+        metrics = _filled_registry()
+        server, thread = self._serve(
+            metrics=metrics, tracer=Tracer(), rules=default_rules()
+        )
+        try:
+            status, _, body = self._get(server, "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["status"] in ("ok", "warn")
+            assert {f["rule"] for f in doc["findings"]} == {
+                r.name for r in default_rules()
+            }
+            with pytest.raises(urllib.error.HTTPError) as err:
+                self._get(server, "/nope")
+            assert err.value.code == 404
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+
+    def test_max_requests_auto_shutdown(self):
+        metrics = _filled_registry()
+        server, thread = self._serve(
+            metrics=metrics, tracer=Tracer(), max_requests=2
+        )
+        try:
+            self._get(server, "/metrics")
+            self._get(server, "/metrics")
+            # serve_forever must return on its own after the second scrape.
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        finally:
+            server.server_close()

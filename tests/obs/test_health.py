@@ -1,0 +1,247 @@
+"""Health-rule tests: validation, evaluation, and the `repro top` frame."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.health import (
+    HealthRule,
+    HealthRuleError,
+    default_rules,
+    evaluate_rules,
+    load_rules,
+    render_status,
+    rules_from_doc,
+    worst_status,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import TelemetryHub
+from repro.obs.trace import Tracer
+
+ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _rule(**kw) -> HealthRule:
+    base = dict(name="r", kind="gauge_min", target="g", threshold=1.0)
+    base.update(kw)
+    return HealthRule(**base)
+
+
+def _eval_one(rule, metrics=None, tracer=None, hub=None):
+    metrics = metrics if metrics is not None else MetricsRegistry(enabled=True)
+    tracer = tracer if tracer is not None else Tracer(enabled=True)
+    return evaluate_rules([rule], metrics=metrics, tracer=tracer, hub=hub)[0]
+
+
+def _hub_with_samples(rows):
+    """A hub holding synthetic samples: rows of (t, counters, gauges)."""
+    hub = TelemetryHub(
+        metrics=MetricsRegistry(enabled=True), tracer=Tracer(),
+        clock=lambda: 0.0,
+    )
+    for t, counters, gauges in rows:
+        hub._samples.append(
+            {"t": t, "counters": counters, "gauges": gauges,
+             "histograms": {}, "spans": {}}
+        )
+    return hub
+
+
+class TestRuleValidation:
+    def test_default_rules_are_valid(self):
+        rules = default_rules()
+        assert len(rules) >= 10
+        assert any(r.kind == "gauge_drop" for r in rules)
+        assert any(r.kind == "counter_stall" for r in rules)
+        # The Fig. 24 end-to-end budgets are hard failures.
+        budgets = {r.name: r for r in rules}
+        assert budgets["detect_motion_budget"].severity == "fail"
+        assert budgets["detect_motion_budget"].threshold == 0.1
+
+    def test_shipped_rule_file_matches_defaults(self):
+        path = os.path.join(ROOT, "scripts", "health_rules.json")
+        assert load_rules(path) == default_rules()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HealthRuleError, match="unknown kind"):
+            _rule(kind="vibes")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(HealthRuleError, match="severity"):
+            _rule(severity="catastrophic")
+
+    def test_counter_stall_needs_watch(self):
+        with pytest.raises(HealthRuleError, match="watch"):
+            _rule(kind="counter_stall", target="c")
+
+    def test_gauge_drop_threshold_must_be_fraction(self):
+        with pytest.raises(HealthRuleError, match="fraction"):
+            _rule(kind="gauge_drop", threshold=1.5)
+
+    def test_doc_must_be_list(self):
+        with pytest.raises(HealthRuleError, match="array"):
+            rules_from_doc({"name": "x"})
+
+    def test_doc_missing_fields(self):
+        with pytest.raises(HealthRuleError, match="missing required"):
+            rules_from_doc([{"name": "x", "kind": "gauge_min"}])
+
+    def test_doc_unknown_fields(self):
+        with pytest.raises(HealthRuleError, match="unknown field"):
+            rules_from_doc([
+                {"name": "x", "kind": "gauge_min", "target": "g",
+                 "threshold": 1.0, "color": "red"},
+            ])
+
+    def test_doc_non_numeric_threshold(self):
+        with pytest.raises(HealthRuleError, match="number"):
+            rules_from_doc([
+                {"name": "x", "kind": "gauge_min", "target": "g",
+                 "threshold": "1.0"},
+            ])
+
+    def test_load_rules_bad_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json")
+        with pytest.raises(HealthRuleError, match="not valid JSON"):
+            load_rules(str(path))
+
+    def test_load_rules_missing_file(self, tmp_path):
+        with pytest.raises(HealthRuleError, match="cannot read"):
+            load_rules(str(tmp_path / "absent.json"))
+
+    def test_load_rules_roundtrip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        doc = [r.to_dict() for r in default_rules()]
+        path.write_text(json.dumps(doc))
+        assert load_rules(str(path)) == default_rules()
+
+
+class TestEvaluation:
+    def test_span_budget_ok_and_fail(self):
+        ticks = iter([0.0, 0.01, 1.0, 1.5])
+        tracer = Tracer(enabled=True, clock=lambda: next(ticks))
+        with tracer.span("detect_motion"):
+            pass
+        rule = _rule(kind="span_p95_budget", target="detect_motion",
+                     threshold=0.1, severity="fail")
+        assert _eval_one(rule, tracer=tracer).status == "ok"
+        with tracer.span("detect_motion"):  # 0.5 s — blows the budget
+            pass
+        finding = _eval_one(rule, tracer=tracer)
+        assert finding.status == "fail"
+        assert finding.value > 0.1
+
+    def test_missing_data_skips(self):
+        for rule in (
+            _rule(kind="span_p95_budget", target="nope"),
+            _rule(kind="gauge_min", target="nope"),
+            _rule(kind="histogram_p95_max", target="nope"),
+            _rule(kind="gauge_drop", target="nope", threshold=0.5),
+            _rule(kind="counter_stall", target="nope", watch="w"),
+        ):
+            assert _eval_one(rule).status == "skip"
+
+    def test_gauge_min_max(self):
+        metrics = MetricsRegistry(enabled=True)
+        metrics.set_gauge("g", 5.0)
+        assert _eval_one(_rule(threshold=1.0), metrics=metrics).status == "ok"
+        assert _eval_one(_rule(threshold=10.0), metrics=metrics).status == "warn"
+        rule = _rule(kind="gauge_max", threshold=1.0, severity="fail")
+        assert _eval_one(rule, metrics=metrics).status == "fail"
+
+    def test_counter_min(self):
+        metrics = MetricsRegistry(enabled=True)
+        metrics.inc("c", 3.0)
+        rule = _rule(kind="counter_min", target="c", threshold=2.0)
+        assert _eval_one(rule, metrics=metrics).status == "ok"
+        assert _eval_one(
+            _rule(kind="counter_min", target="c", threshold=5.0),
+            metrics=metrics,
+        ).status == "warn"
+
+    def test_histogram_p95(self):
+        metrics = MetricsRegistry(enabled=True)
+        for _ in range(20):
+            metrics.observe("h", 2.0)
+        rule = _rule(kind="histogram_p95_max", target="h", threshold=1.0)
+        assert _eval_one(rule, metrics=metrics).status == "warn"
+
+    def test_gauge_drop_detector(self):
+        rule = _rule(kind="gauge_drop", target="rate", threshold=0.5)
+        healthy = _hub_with_samples([
+            (0.0, {}, {"rate": 200.0}),
+            (1.0, {}, {"rate": 150.0}),
+        ])
+        assert _eval_one(rule, hub=healthy).status == "ok"
+        collapsed = _hub_with_samples([
+            (0.0, {}, {"rate": 200.0}),
+            (1.0, {}, {"rate": 40.0}),  # 80% below peak
+        ])
+        finding = _eval_one(rule, hub=collapsed)
+        assert finding.status == "warn"
+        assert finding.value == pytest.approx(0.8)
+
+    def test_counter_stall_detector(self):
+        rule = _rule(kind="counter_stall", target="windows", watch="reads",
+                     threshold=500.0)
+        stalled = _hub_with_samples([
+            (0.0, {"reads": 0.0, "windows": 4.0}, {}),
+            (1.0, {"reads": 900.0, "windows": 4.0}, {}),
+        ])
+        assert _eval_one(rule, hub=stalled).status == "warn"
+        flowing = _hub_with_samples([
+            (0.0, {"reads": 0.0, "windows": 4.0}, {}),
+            (1.0, {"reads": 900.0, "windows": 7.0}, {}),
+        ])
+        assert _eval_one(rule, hub=flowing).status == "ok"
+        # Below the activity threshold there is not enough traffic to judge.
+        quiet = _hub_with_samples([
+            (0.0, {"reads": 0.0, "windows": 0.0}, {}),
+            (1.0, {"reads": 100.0, "windows": 0.0}, {}),
+        ])
+        assert _eval_one(rule, hub=quiet).status == "ok"
+
+    def test_warn_findings_are_logged(self, caplog):
+        metrics = MetricsRegistry(enabled=True)
+        metrics.set_gauge("g", 0.0)
+        with caplog.at_level("WARNING", logger="repro.obs.health"):
+            _eval_one(_rule(threshold=1.0), metrics=metrics)
+        assert len(caplog.records) == 1
+        payload = json.loads(caplog.records[0].message.split(" ", 1)[1])
+        assert payload["rule"] == "r" and payload["status"] == "warn"
+
+    def test_worst_status(self):
+        def f(status):
+            from repro.obs.health import HealthFinding
+            return HealthFinding(rule=_rule(), status=status, value=None,
+                                 message="")
+        assert worst_status([f("ok"), f("skip")]) == "ok"
+        assert worst_status([f("ok"), f("warn")]) == "warn"
+        assert worst_status([f("warn"), f("fail")]) == "fail"
+
+
+class TestRenderStatus:
+    def test_frame_contains_sections(self):
+        metrics = MetricsRegistry(enabled=True)
+        tracer = Tracer(enabled=True)
+        with tracer.span("detect_motion"):
+            pass
+        metrics.set_gauge("reader.read_rate_hz", 215.9)
+        metrics.set_gauge("stream.lag_s", 0.4, labels={"session": "live"})
+        metrics.inc("reader.reads", 100.0)
+        findings = evaluate_rules(
+            default_rules(), metrics=metrics, tracer=tracer
+        )
+        frame = render_status(metrics, tracer, findings)
+        assert "== spans" in frame and "detect_motion" in frame
+        assert "reader.read_rate_hz = 215.9" in frame
+        assert 'stream.lag_s{session="live"} = 0.4' in frame
+        assert "== health ==" in frame
+        assert "[ ok ]" in frame and "[ -- ]" in frame
+
+    def test_empty_frame(self):
+        frame = render_status(MetricsRegistry(enabled=True), Tracer())
+        assert "(no spans recorded)" in frame
+        assert "(no rules evaluated)" in frame

@@ -1,0 +1,284 @@
+"""Telemetry snapshot/merge/hub tests: the cross-process contract.
+
+The merge semantics checked here (counters add, gauges last-write-wins,
+histograms bucket-merge, spans append) are what lets the parallel runner
+relay worker telemetry without distorting totals — see DESIGN.md §12 and
+``tests/sim/test_parallel_telemetry.py`` for the end-to-end check.
+"""
+
+import io
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry, scoped_metrics
+from repro.obs.telemetry import (
+    TelemetryHub,
+    TelemetrySnapshot,
+    capture_snapshot,
+    merge_snapshot,
+)
+from repro.obs.trace import Tracer, scoped_tracer
+
+
+def _random_hist(rng: np.random.Generator, bounds) -> Histogram:
+    hist = Histogram(bounds)
+    for value in rng.exponential(0.3, size=int(rng.integers(1, 50))):
+        hist.observe(float(value))
+    return hist
+
+
+def _states_equal(a: dict, b: dict) -> bool:
+    """State equality up to float-summation order in ``total``.
+
+    Bucket counts, count, and min/max merge exactly; ``total`` is a float
+    sum whose grouping differs between merge trees, so it only matches to
+    rounding.
+    """
+    exact = {k: v for k, v in a.items() if k != "total"}
+    if exact != {k: v for k, v in b.items() if k != "total"}:
+        return False
+    return a["total"] == pytest.approx(b["total"], rel=1e-12, abs=1e-12)
+
+
+def _filled_pair():
+    """A tracer + registry with one of everything recorded."""
+    tracer = Tracer(enabled=True)
+    metrics = MetricsRegistry(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("inner", k="v"):
+            pass
+    metrics.inc("c", 2.0)
+    metrics.set_gauge("g", 7.5)
+    metrics.set_gauge("g", 1.25, labels={"session": "a"})
+    metrics.observe("h", 0.01)
+    metrics.observe("h", 0.4)
+    return tracer, metrics
+
+
+class TestHistogramMergeAlgebra:
+    BOUNDS = (0.01, 0.1, 1.0, 10.0)
+
+    def test_merge_is_commutative(self):
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            a1, b1 = _random_hist(rng, self.BOUNDS), _random_hist(rng, self.BOUNDS)
+            a2 = Histogram.from_state(a1.state())
+            b2 = Histogram.from_state(b1.state())
+            ab = a1.merge(b1).state()
+            ba = b2.merge(a2).state()
+            assert _states_equal(ab, ba)
+
+    def test_merge_is_associative(self):
+        rng = np.random.default_rng(6)
+        for _ in range(20):
+            parts = [_random_hist(rng, self.BOUNDS) for _ in range(3)]
+            left = Histogram.from_state(parts[0].state())
+            left.merge(parts[1]).merge(parts[2])
+            bc = Histogram.from_state(parts[1].state())
+            bc.merge(parts[2])
+            right = Histogram.from_state(parts[0].state())
+            right.merge(bc)
+            assert _states_equal(left.state(), right.state())
+
+    def test_merge_matches_single_stream(self):
+        """Splitting observations across processes must not change stats."""
+        rng = np.random.default_rng(7)
+        values = rng.exponential(0.3, size=200)
+        whole = Histogram(self.BOUNDS)
+        part_a, part_b = Histogram(self.BOUNDS), Histogram(self.BOUNDS)
+        for i, value in enumerate(values):
+            whole.observe(float(value))
+            (part_a if i % 2 else part_b).observe(float(value))
+        assert _states_equal(part_a.merge(part_b).state(), whole.state())
+
+    def test_merge_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError, match="bounds"):
+            Histogram((0.1, 1.0)).merge(Histogram((0.2, 1.0)))
+
+    def test_state_roundtrip(self):
+        rng = np.random.default_rng(8)
+        hist = _random_hist(rng, self.BOUNDS)
+        clone = Histogram.from_state(hist.state())
+        assert clone.state() == hist.state()
+        assert clone.percentile(95.0) == hist.percentile(95.0)
+
+    def test_empty_state_elides_extrema(self):
+        state = Histogram(self.BOUNDS).state()
+        assert "min" not in state and "max" not in state
+        assert Histogram.from_state(state).count == 0
+
+
+class TestSnapshotRoundtrip:
+    def test_pickle_roundtrip(self):
+        tracer, metrics = _filled_pair()
+        snap = capture_snapshot(tracer=tracer, metrics=metrics)
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone == snap
+
+    def test_json_roundtrip(self):
+        tracer, metrics = _filled_pair()
+        snap = capture_snapshot(tracer=tracer, metrics=metrics)
+        clone = TelemetrySnapshot.from_json(snap.to_json())
+        assert clone.counters == snap.counters
+        assert clone.gauges == snap.gauges
+        assert clone.histograms == snap.histograms
+        assert clone.spans == snap.spans
+
+    def test_empty_snapshot(self):
+        snap = TelemetrySnapshot()
+        assert snap.is_empty
+        assert not TelemetrySnapshot(counters={"c": 1.0}).is_empty
+
+    def test_capture_reset_gives_delta_semantics(self):
+        tracer, metrics = _filled_pair()
+        first = capture_snapshot(tracer=tracer, metrics=metrics, reset=True)
+        assert not first.is_empty
+        # After the reset, a fresh capture sees only what happened since.
+        metrics.inc("c", 5.0)
+        second = capture_snapshot(tracer=tracer, metrics=metrics, reset=True)
+        assert second.counters == {"c": 5.0}
+        assert second.spans == []
+        assert tracer.enabled and metrics.enabled
+
+
+class TestSnapshotMerge:
+    def test_counters_add_gauges_last_write_wins(self):
+        a = TelemetrySnapshot(counters={"c": 1.0}, gauges={"g": 1.0})
+        b = TelemetrySnapshot(counters={"c": 2.0, "d": 4.0}, gauges={"g": 9.0})
+        a.merge(b)
+        assert a.counters == {"c": 3.0, "d": 4.0}
+        assert a.gauges == {"g": 9.0}
+
+    def test_histograms_bucket_merge(self):
+        h1, h2 = Histogram((0.1, 1.0)), Histogram((0.1, 1.0))
+        h1.observe(0.05)
+        h2.observe(0.5)
+        a = TelemetrySnapshot(histograms={"h": h1.state()})
+        a.merge(TelemetrySnapshot(histograms={"h": h2.state()}))
+        merged = Histogram.from_state(a.histograms["h"])
+        assert merged.count == 2
+        assert merged.total == pytest.approx(0.55)
+
+    def test_merge_snapshot_into_registries(self):
+        tracer, metrics = _filled_pair()
+        snap = capture_snapshot(tracer=tracer, metrics=metrics)
+        dst_tracer = Tracer(enabled=True)
+        dst_metrics = MetricsRegistry(enabled=True)
+        merge_snapshot(
+            snap, tracer=dst_tracer, metrics=dst_metrics,
+            span_attrs={"relayed": True},
+        )
+        assert dst_metrics.counter_value("c") == 2.0
+        assert dst_metrics.gauge_value("g") == 7.5
+        hist = dst_metrics.get_histogram("h")
+        assert hist is not None and hist.count == 2
+        assert len(dst_tracer.finished) == 2
+        assert all(s.attrs.get("relayed") is True for s in dst_tracer.finished)
+        # Merging the same snapshot again doubles counters: merge is a fold,
+        # not an idempotent sync — callers own exactly-once delivery.
+        merge_snapshot(snap, tracer=dst_tracer, metrics=dst_metrics)
+        assert dst_metrics.counter_value("c") == 4.0
+
+
+class TestTelemetryHub:
+    def _hub(self, metrics, tracer, **kw):
+        ticks = iter(float(i) for i in range(10_000))
+        return TelemetryHub(
+            metrics=metrics, tracer=tracer, clock=lambda: next(ticks), **kw
+        )
+
+    def test_sample_records_registry_state(self):
+        tracer, metrics = _filled_pair()
+        hub = self._hub(metrics, tracer)
+        record = hub.sample()
+        assert record["counters"]["c"] == 2.0
+        assert record["gauges"]["g"] == 7.5
+        assert record["histograms"]["h"]["count"] == 2
+        assert "outer" in record["spans"]
+        assert hub.latest() is record or hub.latest() == record
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        metrics = MetricsRegistry(enabled=True)
+        hub = self._hub(metrics, Tracer(), capacity=3)
+        for i in range(5):
+            metrics.set_gauge("g", float(i))
+            hub.sample()
+        assert len(hub.samples) == 3
+        assert hub.dropped == 2
+        assert [s["gauges"]["g"] for s in hub.samples] == [2.0, 3.0, 4.0]
+
+    def test_series_and_rate(self):
+        metrics = MetricsRegistry(enabled=True)
+        hub = self._hub(metrics, Tracer())
+        for total in (10.0, 30.0):
+            metrics.inc("c", total - metrics.counter_value("c"))
+            hub.sample()
+        assert hub.counter_series("c") == [(0.0, 10.0), (1.0, 30.0)]
+        assert hub.counter_rate("c") == pytest.approx(20.0)
+        assert hub.counter_rate("missing") is None
+        assert hub.gauge_series("missing") == []
+
+    def test_export_jsonl(self, tmp_path):
+        tracer, metrics = _filled_pair()
+        hub = self._hub(metrics, tracer)
+        hub.sample()
+        hub.sample()
+        out = tmp_path / "metrics.jsonl"
+        assert hub.export_jsonl(str(out)) == 2
+        lines = out.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert {"t", "counters", "gauges", "histograms", "spans"} <= set(record)
+        buf = io.StringIO()
+        assert hub.export_jsonl(buf) == 2
+
+    def test_background_sampler_stops_cleanly(self):
+        metrics = MetricsRegistry(enabled=True)
+        hub = TelemetryHub(metrics=metrics, tracer=Tracer(), interval_s=0.01)
+        hub.start()
+        with pytest.raises(RuntimeError):
+            hub.start()
+        hub.stop(final_sample=True)
+        assert len(hub.samples) >= 1
+        hub.stop(final_sample=False)  # idempotent when not running
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            TelemetryHub(interval_s=0.0)
+        with pytest.raises(ValueError):
+            TelemetryHub(capacity=0)
+
+    def test_lazy_registry_resolution_sees_scoped_registries(self):
+        hub = TelemetryHub()  # built *before* the scope opens
+        with scoped_tracer(Tracer(enabled=True)), scoped_metrics(
+            MetricsRegistry(enabled=True)
+        ) as metrics:
+            metrics.inc("scoped.c", 3.0)
+            record = hub.sample()
+        assert record["counters"] == {"scoped.c": 3.0}
+
+
+class TestScopedRegistries:
+    def test_scoped_metrics_restores_global(self):
+        from repro.obs.metrics import get_metrics
+
+        before = get_metrics()
+        with scoped_metrics(MetricsRegistry(enabled=True)) as inner:
+            assert get_metrics() is inner
+            get_metrics().inc("x")
+        assert get_metrics() is before
+        assert before.counter_value("x") == 0.0
+
+    def test_scoped_tracer_restores_global_on_error(self):
+        from repro.obs.trace import get_tracer
+
+        before = get_tracer()
+        with pytest.raises(RuntimeError):
+            with scoped_tracer(Tracer(enabled=True)) as inner:
+                assert get_tracer() is inner
+                raise RuntimeError("boom")
+        assert get_tracer() is before

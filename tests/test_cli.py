@@ -140,3 +140,50 @@ def test_replay_warns_on_scenario_mismatch(tmp_path, caplog):
     warnings = [r.getMessage() for r in caplog.records if "mismatch" in r.getMessage()]
     assert any("seed" in w for w in warnings)
     assert any("mount" in w for w in warnings)
+
+
+def test_stats_prometheus_lints_clean(capsys, clean_observability):
+    from repro.obs.export import lint_exposition
+
+    assert main(["--seed", "3", "stats", "--fast", "--prometheus"]) == 0
+    out = capsys.readouterr().out
+    assert lint_exposition(out) == []
+    assert "# TYPE repro_runner_motion_trials_total counter" in out
+    assert "repro_span_p95_seconds" in out
+
+
+def test_top_once_healthy_run_exits_zero(capsys, clean_observability):
+    assert main(["--seed", "3", "top", "--once", "--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "== spans" in out and "== health ==" in out
+    assert "detect_motion_budget" in out
+    assert "FAIL" not in out
+
+
+def test_top_validate_rules(tmp_path, capsys):
+    import os
+
+    shipped = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "scripts", "health_rules.json",
+    )
+    assert main(["top", "--validate-rules", shipped]) == 0
+    assert "health rule(s) ok" in capsys.readouterr().out
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps([{"name": "x", "kind": "vibes",
+                                "target": "g", "threshold": 1.0}]))
+    assert main(["top", "--validate-rules", str(bad)]) == 2
+    assert "invalid health rules" in capsys.readouterr().err
+
+
+def test_metrics_out_writes_jsonl_series(tmp_path, capsys, clean_observability):
+    out_path = tmp_path / "metrics.jsonl"
+    assert main(["--seed", "3", "--metrics-out", str(out_path),
+                 "demo", "letter", "I"]) == 0
+    err = capsys.readouterr().err
+    assert "metric samples" in err
+    lines = out_path.read_text().strip().splitlines()
+    assert lines
+    final = json.loads(lines[-1])
+    assert {"t", "counters", "gauges", "histograms", "spans"} <= set(final)
+    assert final["counters"].get("reader.reads", 0.0) > 0
