@@ -158,21 +158,78 @@ def _telemetry_wall_s(rounds: int) -> float:
     return best
 
 
-def _parallel_trials_per_s(rounds: int) -> "float | None":
-    # Recorded in smoke mode too, so the "parallel vs serial" trajectory
-    # (ROADMAP: parallel is currently *slower*) stays visible in every
-    # entry, not just full runs.
+def _stream_provisional_p95_ms() -> Dict[str, "float | None"]:
+    """Provisional-session latency percentiles from one streamed letter.
+
+    ``stream.provisional_latency_s`` is the stream-time lag of each
+    preview behind the newest ingested read; ``stream.letter_latency_s``
+    is the lag of the *finalized* letter decision behind the last read of
+    its final window — the number the acceptance bound (< 150 ms) gates.
+    """
+    from repro.obs.metrics import MetricsRegistry, scoped_metrics
+    from repro.sim.live import LiveDriver
+
+    with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+        runner = SessionRunner(
+            build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
+        )
+        LiveDriver(runner, chunk_s=0.05, provisional=True).run_letter("T")
+        out: Dict[str, "float | None"] = {}
+        for key, name in (
+            ("stream_provisional_p95_ms", "stream.provisional_latency_s"),
+            ("stream_letter_p95_ms", "stream.letter_latency_s"),
+        ):
+            hist = metrics.get_histogram(name)
+            if hist is None or hist.count == 0:
+                out[key] = None
+            else:
+                out[key] = round(hist.percentile(95.0) * 1e3, 4)
+        return out
+
+
+def _serial_trials_per_s(rounds: int) -> float:
+    """True serial battery throughput: shared-RNG loop, workers=0."""
     motions, _ = _battery_spec()
     runner = SessionRunner(
         build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
     )
     best = None
+    trials = []
     for _ in range(rounds):
         t0 = time.perf_counter()
-        trials = runner.run_motion_battery(motions, 1, workers=2)
+        trials = runner.run_motion_battery(motions, 1, workers=0)
         wall = time.perf_counter() - t0
         best = wall if best is None else min(best, wall)
     return len(trials) / best
+
+
+def _parallel_trials_per_s(workers: int, rounds: int) -> float:
+    """Warmed-pool battery throughput for a given worker count.
+
+    The first battery pays pool spawn + per-worker engine construction;
+    it is run once and discarded so the recorded number is the steady
+    state a monitored session reaches after its opening battery.
+    Recorded in smoke mode too, so the "parallel vs serial" trajectory
+    stays visible in every entry, not just full runs.
+    """
+    from repro.sim.parallel import shutdown_pools
+
+    motions, _ = _battery_spec()
+    runner = SessionRunner(
+        build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
+    )
+    try:
+        runner.run_motion_battery(motions, 1, workers=workers)  # warm
+        best = None
+        trials = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            trials = runner.run_motion_battery(motions, 1, workers=workers)
+            wall = time.perf_counter() - t0
+            best = wall if best is None else min(best, wall)
+        return len(trials) / best
+    finally:
+        shutdown_pools()
 
 
 def _git_head() -> str:
@@ -220,7 +277,10 @@ def test_hotpath_benchmark():
     speedup = scalar["wall_s"] / engine["wall_s"]
     telemetry_wall = _telemetry_wall_s(rounds)
     stage_p95_ms = _stage_p95()
-    parallel_tps = _parallel_trials_per_s(rounds)
+    serial_tps = _serial_trials_per_s(rounds)
+    parallel2_tps = _parallel_trials_per_s(2, rounds)
+    parallel4_tps = _parallel_trials_per_s(4, rounds)
+    stream_p95 = _stream_provisional_p95_ms()
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -243,9 +303,12 @@ def test_hotpath_benchmark():
         "telemetry_overhead_pct": round(
             100.0 * (telemetry_wall - engine["wall_s"]) / engine["wall_s"], 2
         ),
-        "parallel_trials_per_s_workers2": None
-        if parallel_tps is None
-        else round(parallel_tps, 2),
+        "serial_trials_per_s": round(serial_tps, 2),
+        "parallel_trials_per_s_workers2": round(parallel2_tps, 2),
+        "parallel_trials_per_s_workers4": round(parallel4_tps, 2),
+        "parallel_speedup_workers4": round(parallel4_tps / serial_tps, 2),
+        "stream_provisional_p95_ms": stream_p95["stream_provisional_p95_ms"],
+        "stream_letter_p95_ms": stream_p95["stream_letter_p95_ms"],
         "stage_p95_ms": stage_p95_ms,
     }
     _append_entry(entry)
@@ -275,3 +338,20 @@ def test_hotpath_benchmark():
         f"telemetry-on wall {telemetry_wall:.4f}s exceeds the 5% overhead "
         f"budget over the plain engine wall {engine['wall_s']:.4f}s"
     )
+    # Parallel must never fall behind serial again (the regression this
+    # battery of changes fixed).  The warmed 4-worker pool batches the
+    # whole battery along the trial axis, so even on a 1-core container
+    # it beats the serial loop; check.sh re-enforces the same bound from
+    # the recorded entry.
+    assert parallel4_tps >= serial_tps, (
+        f"parallel(4) throughput {parallel4_tps:.2f} trials/s fell below "
+        f"serial {serial_tps:.2f} trials/s"
+    )
+    # Finalized letter decisions must land promptly after their last
+    # read: the provisional layer's reason to exist.
+    if stream_p95["stream_letter_p95_ms"] is not None:
+        assert stream_p95["stream_letter_p95_ms"] < 150.0, (
+            f"finalized letter-event p95 "
+            f"{stream_p95['stream_letter_p95_ms']:.1f} ms breaches the "
+            f"150 ms streaming budget"
+        )

@@ -24,6 +24,9 @@ entry = doc["entries"][-1]
 for key in ("timestamp", "commit", "engine_wall_s", "scalar_wall_s",
             "speedup_engine_vs_scalar", "speedup_vs_pre_pr_baseline",
             "reads_per_s", "slots_per_s", "trials_per_s",
+            "serial_trials_per_s", "parallel_trials_per_s_workers2",
+            "parallel_trials_per_s_workers4", "parallel_speedup_workers4",
+            "stream_provisional_p95_ms", "stream_letter_p95_ms",
             "reader_collect_p95_ms"):
     print(f"  {key}: {entry.get(key)}")
 EOF

@@ -63,6 +63,27 @@ echo "== hot-path benchmark (smoke mode, with regression floor) =="
 # wall regresses more than 2x over the best recorded smoke entry.
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/test_perf_hotpath.py -q
 
+echo "== parallel throughput gate (parallel(4) vs serial) =="
+# The regression this gate pins down: a warmed 4-worker battery must
+# never fall behind the plain serial loop again.  Reads the entry the
+# smoke bench just appended.
+python - <<'PY'
+import json, sys
+
+with open("BENCH_pipeline.json", encoding="utf-8") as fh:
+    entry = json.load(fh)["entries"][-1]
+serial = entry.get("serial_trials_per_s")
+parallel4 = entry.get("parallel_trials_per_s_workers4")
+if serial is None or parallel4 is None:
+    sys.exit("bench entry is missing serial/parallel throughput keys")
+if parallel4 < serial:
+    sys.exit(
+        f"parallel(4) throughput {parallel4} trials/s fell below "
+        f"serial {serial} trials/s"
+    )
+print(f"parallel(4) {parallel4} >= serial {serial} trials/s")
+PY
+
 echo "== repro top --once (health-rule smoke test) =="
 # One observed battery, evaluated against the shipped rule set; a failed
 # Fig. 24 budget (or any 'fail' rule) makes this exit nonzero.

@@ -184,11 +184,14 @@ def _print_stream_events(events) -> None:
         if isinstance(ev, StrokeEvent):
             w = ev.window
             label = ev.stroke.label if ev.stroke is not None else "(no stroke)"
-            print(f"[{ev.emitted_at:7.3f}s] stroke window "
+            kind = "stroke window" if ev.final else "stroke preview"
+            print(f"[{ev.emitted_at:7.3f}s] {kind} "
                   f"{w.t0:.3f}-{w.t1:.3f}s -> {label}")
-        else:
+        elif ev.final:
             print(f"[{ev.emitted_at:7.3f}s] letter: {ev.result.letter!r} "
                   f"(tokens {ev.result.stroke_tokens})")
+        else:
+            print(f"[{ev.emitted_at:7.3f}s] letter preview: {ev.result.letter!r}")
 
 
 def cmd_live(args: argparse.Namespace) -> int:
@@ -206,7 +209,9 @@ def cmd_live(args: argparse.Namespace) -> int:
     log = runner.run_script(script)
     print(f"streaming {len(log)} reads in {args.chunk * 1000:.0f} ms chunks "
           f"(truth {truth!r})")
-    session = StreamingSession(runner.pad, session_id="live")
+    session = StreamingSession(
+        runner.pad, session_id="live", provisional=args.provisional
+    )
     for ev in stream_log(runner.pad, log, args.chunk, session=session):
         _print_stream_events([ev])
     print(f"retained {session.buffered_reads} of {len(log)} reads at finish")
@@ -239,7 +244,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
         from .sim.live import stream_log
         from .stream import StreamingSession
 
-        session = StreamingSession(pad)
+        session = StreamingSession(pad, provisional=args.provisional)
         for ev in stream_log(pad, log, args.chunk, session=session):
             _print_stream_events([ev])
         result = session.letter_result
@@ -499,6 +504,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--chunk", type=float, default=0.1,
         help="streaming chunk length in seconds (default 0.1)",
     )
+    p_replay.add_argument(
+        "--provisional", action="store_true",
+        help="with --stream: also print final=False previews of the "
+             "still-forming stroke window and in-progress letter",
+    )
 
     p_live = sub.add_parser(
         "live",
@@ -513,6 +523,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_live.add_argument(
         "--chunk", type=float, default=0.1,
         help="chunk length in seconds (default 0.1)",
+    )
+    p_live.add_argument(
+        "--provisional", action="store_true",
+        help="also print final=False previews of the still-forming stroke "
+             "window and in-progress letter",
     )
 
     p_stats = sub.add_parser(

@@ -394,6 +394,89 @@ class StreamSegmenter:
             return None
         return self.frame_time(self.retention_frame())
 
+    # -- provisional view ----------------------------------------------
+
+    def _partial_frame_rms(self, index: int) -> Optional[float]:
+        """Non-destructive RMS peek of a still-open frame (or ``None``).
+
+        Sums tags in the same first-appearance order :meth:`_close_frame`
+        will use, but leaves the accumulation buckets untouched so the
+        eventual close stays bit-identical.
+        """
+        frame = self._open.get(index)
+        if not frame:
+            return None
+        value = 0.0
+        for tag in sorted(frame, key=self._appearance.__getitem__):
+            squares = frame[tag]
+            total = 0.0
+            for sq in squares:
+                total += sq
+            value += math.sqrt(total / len(squares))
+        return value
+
+    def provisional_segment(self) -> Optional[Tuple[float, float, float]]:
+        """Best current guess of the segment still forming: ``(t0, t1, peak)``.
+
+        Purely advisory — reading it never mutates segmenter state, so the
+        finalized window stream stays bit-identical to the batch path.  The
+        guess covers:
+
+        * the pending closed segment (still eligible to merge forward),
+          folded with the open active run when the gap between them is
+          within ``merge_gap_s`` (mirroring :meth:`_close_run`);
+        * closed-but-undecided frames past the run head, included while
+          their RMS stays above a valley-style gate (the hand is plainly
+          still moving even though the window verdicts lag by the
+          ``window_frames`` lookahead);
+        * the newest still-open frame, via a non-destructive partial RMS.
+
+        Returns ``None`` when nothing is active.
+        """
+        if self._t_start is None or self._finalized:
+            return None
+        lo = hi = None
+        if self._pending is not None:
+            lo, hi = self._pending.lo, self._pending.hi
+        if self._run is not None:
+            r_lo, r_hi = self._run
+            if lo is None:
+                lo, hi = r_lo, r_hi
+            elif self.frame_time(r_lo) - self._pending_t1() <= self.config.merge_gap_s:
+                hi = r_hi
+            else:
+                lo, hi = r_lo, r_hi
+        if lo is None:
+            return None
+        if self._run is not None:
+            chunk = self._rms[lo - self._base : self._closed_frames - self._base]
+            arr = np.array(chunk) if chunk else np.array([])
+            if arr.size >= 4:
+                gate = max(
+                    self.config.valley_fraction * float(np.median(arr)),
+                    0.3 * float(np.percentile(arr, 75.0)),
+                )
+            else:
+                gate = 1e-12
+            j = hi
+            while j < self._closed_frames and self._rms[j - self._base] >= gate:
+                j += 1
+            hi = j
+            if j == self._closed_frames:
+                partial = self._partial_frame_rms(self._closed_frames)
+                if partial is not None and partial >= gate:
+                    hi = self._closed_frames + 1
+        peak = 0.0
+        s_lo = lo - self._base
+        s_hi = min(hi, self._next_window) - self._base
+        if s_hi > s_lo:
+            peak = float(np.array(self._stds[s_lo:s_hi]).max())
+        return (
+            float(self.frame_time(lo)),
+            float(self.frame_time(hi - 1) + self.config.frame_s),
+            peak,
+        )
+
     # -- ingestion -----------------------------------------------------
 
     def ingest(

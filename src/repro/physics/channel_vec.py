@@ -372,6 +372,83 @@ class ChannelEngine:
                     g = g * np.where(shadow_db > 0.0, 10.0 ** (-shadow_db / 20.0), 1.0)
         return tx_power_w * np.abs(g * one_way_loss) ** 2
 
+    def scene_powers_trials(
+        self,
+        base: np.ndarray,
+        tx_power_w: float,
+        one_way_loss: float,
+        hand_xyz: np.ndarray,
+        offsets: np.ndarray,
+        rcs: np.ndarray,
+        shadow: "Tuple[float, float, float]",
+    ) -> np.ndarray:
+        """Per-tag incident powers for T independent trials in one evaluation.
+
+        The trial-axis counterpart of :meth:`scene_powers`: ``hand_xyz`` is
+        a ``(T, 3)`` block of hand positions — one row per trial lane — and
+        the result is ``(T, N)`` powers.  All lanes share the deployment's
+        precomputed static geometry and the same scatterer *template*
+        (``offsets``/``rcs``/``shadow``), which is what makes one numpy
+        dispatch advance many trials.
+
+        Bit-identity contract: every row equals the corresponding solo
+        ``scene_powers(base, ..., hand_xyz[t], ...)`` result bit-for-bit,
+        because the batched expressions are the same elementwise ufunc
+        chains (``+ - * /``, ``np.sqrt``, fixed-order ``einsum`` dot
+        products, ``np.exp`` on identical complex inputs) evaluated
+        per-lane — numpy's elementwise kernels do not change results with
+        the leading batch shape.  Counters advance as if each lane had been
+        evaluated solo, so telemetry totals are lane-equivalent.
+        """
+        t = hand_xyz.shape[0]
+        self.batch_calls += t
+        self.tags_evaluated += t * len(self._tag_positions)
+        # position + cached u*k offsets per lane; row 0 of every lane is
+        # assigned directly so signed zeros in the position survive.
+        sc_pos = hand_xyz[:, None, :] + offsets[None, :, :]
+        sc_pos[:, 0, :] = hand_xyz
+        diff0 = sc_pos - self._ant_np
+        d1 = np.sqrt(np.einsum("tsk,tsk->ts", diff0, diff0))
+        diff = self.tag_positions_np[None, None, :, :] - sc_pos[:, :, None, :]
+        d2 = np.sqrt(np.einsum("tsnk,tsnk->tsn", diff, diff))
+        if d1.min() > 0.0 and d2.min() > 0.0:
+            d1_safe = d1
+            d2_safe = d2
+            valid = None
+        else:
+            d1_safe = np.where(d1 > 0.0, d1, 1.0)
+            valid = (d1[:, :, None] > 0.0) & (d2 > 0.0)
+            d2_safe = np.where(valid, d2, 1.0)
+        cos_t = np.clip((diff0 @ self._boresight_np) / d1_safe, -1.0, 1.0)
+        if self._pattern_n > 0.0:
+            pattern = np.maximum(
+                np.maximum(cos_t, 0.0) ** self._pattern_n, self._back_lobe
+            )
+        else:
+            pattern = np.where(cos_t >= 0.0, 1.0, self._back_lobe)
+        gr_sc = self._gain_linear * pattern
+        amp = np.sqrt(
+            (gr_sc * rcs)[:, :, None] * self.tag_gains_np * self._scatter_const
+        ) / (d1_safe[:, :, None] * d2_safe)
+        contrib = amp * np.exp(self._neg_jk * (d1_safe[:, :, None] + d2_safe))
+        if valid is not None and not valid.all():
+            contrib = np.where(valid, contrib, 0.0)
+        g = base + contrib.sum(axis=1)
+
+        depth, ls, vs = shadow
+        if depth > 0.0:
+            p = self.tag_positions_np
+            lateral = np.hypot(
+                hand_xyz[:, 0, None] - p[:, 0], hand_xyz[:, 1, None] - p[:, 1]
+            )
+            vertical = np.abs(hand_xyz[:, 2, None] - p[:, 2])
+            shadow_db = depth * np.exp(
+                -0.5 * (lateral / ls) ** 2 - 0.5 * (vertical / vs) ** 2
+            )
+            if np.any(shadow_db > 0.0):
+                g = g * np.where(shadow_db > 0.0, 10.0 ** (-shadow_db / 20.0), 1.0)
+        return tx_power_w * np.abs(g * one_way_loss) ** 2
+
     def incident_power_batch(
         self,
         tx_power_w: float,

@@ -138,6 +138,80 @@ class ReceiverNoise:
         phase = quantise(wrap_phase(phase), self.phase_quantum_rad)
         return rss_dbm, wrap_phase(phase)
 
+    def observe_many(
+        self,
+        base_re: np.ndarray,
+        base_im: np.ndarray,
+        z_iq0: np.ndarray,
+        z_iq1: np.ndarray,
+        z_rss: np.ndarray,
+        z_phase: np.ndarray,
+    ) -> "tuple[list[float], list[float]]":
+        """:meth:`observe_with_draws` over whole read batches, bit-identically.
+
+        Only operations that are exactly elementwise on IEEE doubles are
+        vectorized (`+ - *`, ``np.maximum``); everything whose scalar result
+        could differ from the numpy ufunc — ``abs`` of a complex (libm
+        hypot), ``log10``, ``math.hypot``, ``round``, ``cmath.phase``,
+        ``math.fmod`` — stays in a fused scalar loop with the helper bodies
+        inlined, so each read sees the identical operation sequence as
+        :meth:`observe_with_draws`.  Returns (rss_dbm, phase) lists.
+        """
+        sigma = self._iq_sigma
+        noisy_re = base_re + z_iq0 * sigma
+        noisy_im = base_im + z_iq1 * sigma
+
+        # Scalar pass 1: complex magnitude -> floored dBm, principal phase.
+        # Bodies of watts_to_dbm_floor inlined (same ops, same order).
+        rss_l: "list[float]" = []
+        ph_l: "list[float]" = []
+        for a, b in zip(noisy_re.tolist(), noisy_im.tolist()):
+            c = complex(a, b)
+            p = abs(c) ** 2
+            if p <= 0.0:
+                rss_l.append(-120.0)
+            else:
+                rss_l.append(max(-120.0, 10.0 * math.log10(p * 1000.0)))
+            ph_l.append(cmath.phase(c))
+
+        # Elementwise-exact vector arithmetic for the AGC deficit terms.
+        deficit = np.maximum(0.0, self.agc_reference_dbm - np.array(rss_l))
+        rss_val = (
+            np.array(rss_l)
+            + z_rss
+            * (self.base_rss_jitter_db + self.agc_rss_slope_db_per_db * deficit)
+        )
+
+        # Scalar pass 2: hypot sigma, quantisation, and phase wrap (bodies
+        # of quantise/wrap_phase inlined; round() == rint on doubles but we
+        # keep the scalar builtin to stay byte-for-byte with observe()).
+        res_j = self.residual_phase_jitter_rad
+        p_slope = self.agc_phase_slope_rad_per_db
+        q_rss = self.rss_quantum_db
+        q_ph = self.phase_quantum_rad
+        two_pi = 2.0 * math.pi
+        out_r: "list[float]" = []
+        out_p: "list[float]" = []
+        for v, ph, zp, d in zip(
+            rss_val.tolist(), ph_l, z_phase.tolist(), deficit.tolist()
+        ):
+            out_r.append(round(v / q_rss) * q_rss if q_rss > 0.0 else v)
+            phase = ph + zp * math.hypot(res_j, p_slope * d)
+            w = math.fmod(phase, two_pi)
+            if w < 0.0:
+                w += two_pi
+            if w >= two_pi:
+                w -= two_pi
+            if q_ph > 0.0:
+                w = round(w / q_ph) * q_ph
+            w2 = math.fmod(w, two_pi)
+            if w2 < 0.0:
+                w2 += two_pi
+            if w2 >= two_pi:
+                w2 -= two_pi
+            out_p.append(w2)
+        return out_r, out_p
+
     def phase_std_estimate(self, signal_power_w: float) -> float:
         """Predicted phase std (radians) at a given backscatter power.
 

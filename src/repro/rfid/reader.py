@@ -38,12 +38,55 @@ from ..units import (
     wrap_phase,
 )
 from .deployment import TagArray
-from .inventory_vec import RoundBatchInventory
+from .inventory_vec import RoundBatchInventory, TrialAxisInventory
 from .protocol import Gen2Inventory, LinkProfile
 from .reports import ReportLog, TagReadReport
 
 HandPoseFn = Callable[[float], Optional[HandPose]]
 PoseTrackFn = Callable[[np.ndarray], PoseTrack]
+
+
+@dataclass
+class CollectSpec:
+    """One lane of a trial-axis collect: an independent inventory window.
+
+    ``rng`` is the lane's private generator (the per-trial
+    ``SeedSequence(seed, spawn_key=(index,))`` stream); the lane consumes
+    it in exactly the order the solo :meth:`Reader.collect` would, which
+    is what makes lockstep execution bit-identical per lane.
+    """
+
+    duration: float
+    hand_pose_at: Optional[HandPoseFn] = None
+    rng: Optional[np.random.Generator] = None
+    start_time: float = 0.0
+    pose_at_many: Optional[PoseTrackFn] = None
+
+
+class LaneCollect:
+    """Accumulated MAC output of one lane, awaiting :meth:`Reader.emit_lane`."""
+
+    __slots__ = (
+        "spec", "inv", "end", "pose_at", "pose_at_many",
+        "times", "winners", "z", "n",
+    )
+
+    def __init__(
+        self,
+        spec: CollectSpec,
+        inv: RoundBatchInventory,
+        pose_at: HandPoseFn,
+        pose_at_many: Optional[PoseTrackFn],
+    ) -> None:
+        self.spec = spec
+        self.inv = inv
+        self.end = spec.start_time + spec.duration
+        self.pose_at = pose_at
+        self.pose_at_many = pose_at_many
+        self.times: List[np.ndarray] = []
+        self.winners: List[np.ndarray] = []
+        self.z: List[np.ndarray] = []
+        self.n = 0
 
 
 @dataclass(frozen=True)
@@ -583,28 +626,18 @@ class Reader:
         fr = sr2 * rot_c - si2 * rot_s
         fi = sr2 * rot_s + si2 * rot_c
 
-        # Receiver + Doppler: quantisation, AGC impairments, and the
-        # last-read fold are scalar and stateful — one pass in time order.
-        noise = self.noise
+        # Receiver impairments for the whole window at once (hybrid exact
+        # vectorization; see ReceiverNoise.observe_many), then a slim scalar
+        # pass for the stateful per-tag Doppler fold in time order.
+        rsss, phases = self.noise.observe_many(
+            fr, fi, z[:, nz_f], z[:, nz_f + 1], z[:, nz_f + 2], z[:, nz_f + 3]
+        )
         last = self._last_read
         wl = config.wavelength
-        phases: List[float] = []
-        rsss: List[float] = []
         dopps: List[float] = []
-        z0 = z[:, nz_f].tolist()
-        z1 = z[:, nz_f + 1].tolist()
-        z2 = z[:, nz_f + 2].tolist()
-        z3 = z[:, nz_f + 3].tolist()
-        fr_l = fr.tolist()
-        fi_l = fi.tolist()
         t_l = times.tolist()
         w_l = winners.tolist()
-        for i in range(m):
-            rss_dbm, phase = noise.observe_with_draws(
-                complex(fr_l[i], fi_l[i]), z0[i], z1[i], z2[i], z3[i]
-            )
-            w = w_l[i]
-            t = t_l[i]
+        for w, t, phase in zip(w_l, t_l, phases):
             doppler = 0.0
             prev = last.get(w)
             if prev is not None:
@@ -612,8 +645,6 @@ class Reader:
                 if t > t_prev:
                     doppler = doppler_estimate_hz(phase, phase_prev, t - t_prev, wl)
             last[w] = (t, phase)
-            phases.append(phase)
-            rsss.append(rss_dbm)
             dopps.append(doppler)
 
         out.extend_columns(
@@ -654,6 +685,176 @@ class Reader:
         if self._engine is not None:
             for name, value in self._engine.drain_counters().items():
                 metrics.inc(f"channel.{name}", value)
+
+    # ------------------------------------------------------------------
+    # Trial-axis collection (many independent windows in lockstep)
+    # ------------------------------------------------------------------
+
+    @property
+    def supports_trial_batch(self) -> bool:
+        """Whether :meth:`collect_batch` is available for this reader."""
+        return (
+            self._engine is not None
+            and os.environ.get("REPRO_SCALAR_INVENTORY", "0") != "1"
+        )
+
+    def collect_batch(self, specs: Sequence[CollectSpec]) -> List[LaneCollect]:
+        """Run the MAC phase of many independent collect windows in lockstep.
+
+        Each spec becomes a *lane*: its own :class:`RoundBatchInventory`
+        over its own RNG, advanced round-by-round in lockstep with every
+        other still-active lane.  Per round, readability is resolved with
+        **one** :meth:`ChannelEngine.scene_powers_trials` evaluation per
+        pose template shared by the active lanes, and the Gen2 outcome
+        resolution runs once over the trial axis
+        (:class:`TrialAxisInventory`) — this is where the parallel battery
+        gets its throughput, since the per-lane numpy dispatch overhead is
+        amortised over all concurrent trials.
+
+        The per-lane RNG stream order is exactly the solo order: the
+        round's ``integers`` draw, then one ``standard_normal(k * nz)``
+        block when the round had ``k > 0`` successes, then the next
+        round's draw.  Per lane, the returned MAC output (and the
+        subsequent :meth:`emit_lane` report log) is bit-identical to a
+        solo :meth:`collect` with the same generator state.
+        """
+        if self._engine is None:
+            raise RuntimeError("collect_batch requires the channel engine")
+        nz = self.environment.flutter_draw_count + 4
+        sens_w = self._sensitivity_w()
+        lanes: List[LaneCollect] = []
+        for spec in specs:
+            if spec.duration <= 0.0:
+                raise ValueError(f"duration must be positive, got {spec.duration}")
+            pose_at: HandPoseFn = (
+                spec.hand_pose_at if spec.hand_pose_at is not None else (lambda t: None)
+            )
+            pose_at_many = spec.pose_at_many
+            if pose_at_many is None and spec.hand_pose_at is not None:
+                owner = getattr(spec.hand_pose_at, "__self__", None)
+                if owner is not None:
+                    pose_at_many = getattr(owner, "pose_at_many", None)
+            rng = spec.rng if spec.rng is not None else self.rng
+            inv = RoundBatchInventory(
+                rng, start_time=spec.start_time, profile=self.config.link_profile
+            )
+            lanes.append(LaneCollect(spec, inv, pose_at, pose_at_many))
+        if not lanes:
+            return lanes
+        axis = TrialAxisInventory([lane.inv for lane in lanes])
+        tracer = get_tracer()
+        los = self.config.los_occlusion
+        n_tags = len(self.array.tags)
+        with tracer.span("reader.collect_batch", lanes=len(lanes)) as sp:
+            rounds = 0
+            while True:
+                active = [
+                    i for i, lane in enumerate(lanes) if lane.inv.clock < lane.end
+                ]
+                if not active:
+                    break
+                rounds += 1
+                readables: List[Optional[np.ndarray]] = [None] * len(active)
+                if los:
+                    # LOS occlusion keeps the general per-lane readability
+                    # route (per-tag direct losses depend on the pose).
+                    for k, i in enumerate(active):
+                        lane = lanes[i]
+                        readables[k] = self._readable_arr(
+                            lane.pose_at(lane.inv.clock), sens_w
+                        )
+                else:
+                    # Group pose-present lanes by their cached template so
+                    # one trial-axis channel evaluation covers each group.
+                    groups: Dict[int, Tuple[tuple, List[int], List[Tuple[float, float, float]]]] = {}
+                    for k, i in enumerate(active):
+                        lane = lanes[i]
+                        pose = lane.pose_at(lane.inv.clock)
+                        if pose is None:
+                            readables[k] = self._readable_arr(None, sens_w)
+                            continue
+                        entry = self._pose_fast_arrays(pose)
+                        group = groups.get(id(entry))
+                        if group is None:
+                            group = groups[id(entry)] = (entry, [], [])
+                        group[1].append(k)
+                        p = pose.position
+                        group[2].append((p.x, p.y, p.z))
+                    for entry, members, xyzs in groups.values():
+                        offsets, rcs, shadow = entry
+                        if len(members) == 1:
+                            with tracer.span("channel.batch", tags=n_tags):
+                                powers = self._engine.scene_powers(
+                                    self._static_base,
+                                    self.config.tx_power_w,
+                                    self._one_way_loss,
+                                    xyzs[0],
+                                    offsets,
+                                    rcs,
+                                    shadow,
+                                )
+                            readables[members[0]] = np.nonzero(powers >= sens_w)[0]
+                        else:
+                            with tracer.span(
+                                "channel.batch", tags=n_tags, lanes=len(members)
+                            ):
+                                powers = self._engine.scene_powers_trials(
+                                    self._static_base,
+                                    self.config.tx_power_w,
+                                    self._one_way_loss,
+                                    np.array(xyzs),
+                                    offsets,
+                                    rcs,
+                                    shadow,
+                                )
+                            for row, k in enumerate(members):
+                                readables[k] = np.nonzero(powers[row] >= sens_w)[0]
+                results = axis.step(active, readables)
+                for k, i in enumerate(active):
+                    rr = results[k]
+                    n_success = rr.n_success
+                    if n_success:
+                        lane = lanes[i]
+                        lane.times.append(rr.times)
+                        lane.winners.append(rr.winners)
+                        lane.z.append(
+                            lane.inv._rng.standard_normal(n_success * nz)
+                        )
+                        lane.n += n_success
+            sp.set(rounds=rounds)
+        return lanes
+
+    def emit_lane(self, lane: LaneCollect, log: Optional[ReportLog] = None) -> ReportLog:
+        """Run one lane's receiver/emit phase; the tail of a solo collect.
+
+        Resets the Doppler history first (lanes are independent trials),
+        then replays the lane's accumulated successes through the
+        row-batched channel kernel under the same ``reader.collect`` span
+        and metrics the solo path records.
+        """
+        out = log if log is not None else ReportLog()
+        n_before = len(out)
+        nz_f = self.environment.flutter_draw_count
+        nz = nz_f + 4
+        self.reset_read_history()
+        with get_tracer().span("reader.collect", duration_s=lane.spec.duration) as sp:
+            if lane.n:
+                times = np.concatenate(lane.times)
+                winners = np.concatenate(lane.winners)
+                z = np.concatenate(lane.z).reshape(lane.n, nz)
+                self._emit_batched(
+                    times, winners, z, nz_f, lane.pose_at, lane.pose_at_many, out
+                )
+            stats = lane.inv.stats
+            sp.set(
+                reads=stats.successes,
+                collisions=stats.collisions,
+                idles=stats.idles,
+                read_rate_hz=round(stats.read_rate, 1),
+            )
+        self.last_inventory_stats = stats
+        self._record_metrics(stats, out, n_before)
+        return out
 
     def reset_read_history(self) -> None:
         """Forget per-tag last-read state (Doppler baselines).

@@ -11,8 +11,7 @@ stream, derived from the scenario seed and the trial's position in the
 battery (``SeedSequence(entropy=seed, spawn_key=(trial_index,))``).  The
 assignment of trials to workers — and the worker count itself — cannot
 change any draw, so ``workers=1`` and ``workers=8`` produce bit-identical
-batteries.  Results are collected with ``Executor.map``, which preserves
-submission order.
+batteries.  Chunk results are collected in submission order.
 
 Parallel batteries are **off by default** (``workers=0`` means the legacy
 serial shared-RNG loop, byte-for-byte compatible with the pre-parallel
@@ -20,26 +19,50 @@ code).  Opt in per call (``workers=N``), per process (``REPRO_WORKERS``),
 or per experiment run (:func:`workers_override`, wired to the CLI's
 ``--workers`` flag).
 
-Caveats: each worker pays one deployment build + static calibration at
-startup.
+**Warmed persistent workers.**  Pools are cached per (scenario config,
+pipeline config, calibration, telemetry flags) and reused across
+batteries, so the per-worker deployment build + static calibration is
+paid once per process lifetime instead of once per battery.  Call
+:func:`shutdown_pools` to tear them down explicitly (an ``atexit`` hook
+does it on interpreter exit).
+
+**Trial-axis chunking.**  Tasks are split into at most
+``min(workers, os.cpu_count())`` contiguous chunks (override with
+``REPRO_PARALLEL_CHUNKS``), and each worker advances its whole chunk in
+*lockstep* through :meth:`SessionRunner.run_motion_batch` — one numpy
+evaluation per round for all of the chunk's trials.  Chunking is pure
+scheduling: per-trial RNG streams make the merged battery bit-identical
+for any chunk/worker layout.
+
+**Fault containment.**  Each chunk future is awaited with a per-trial
+timeout (``REPRO_TRIAL_TIMEOUT_S`` seconds per trial, default 120).  A
+worker crash (``BrokenProcessPool``) or hang (timeout) evicts the pool,
+cancels what has not started, and re-executes every lost trial serially
+on the parent runner — same seeds, so the recovered battery is
+bit-identical to an undisturbed run.  ``REPRO_PARALLEL_FAULT``
+(``crash:<trial>`` / ``hang:<trial>[:secs]``) injects such faults for
+the tests.
 
 **Telemetry relay.**  When the parent's tracer or metrics registry is
 enabled at pool-build time, each worker enables its own registries and
-ships a per-trial delta :class:`~repro.obs.telemetry.TelemetrySnapshot`
-(spans + counter/gauge deltas + mergeable histograms) back alongside the
-trial result; the parent folds every snapshot into its own registries in
-submission order.  Worker-side *calibration* telemetry is discarded (each
-worker calibrates once, so it would scale with the worker count), which
-makes the merged counter totals worker-count invariant: ``workers=1`` and
-``workers=8`` report bit-identical totals in ``repro stats``.  Relayed
-spans carry ``attrs["relayed"] = True`` and keep their worker-local
-``start_s`` (only durations are cross-process comparable).
+ships one delta :class:`~repro.obs.telemetry.TelemetrySnapshot` per
+*trial* (captured via the batch runner's ``on_trial`` hook, so reused
+workers never accumulate cross-trial state); the parent folds snapshots
+in submission order.  Worker-side *calibration* telemetry is discarded
+once at init, which keeps merged counter totals worker-count invariant.
+Relayed spans carry ``attrs["relayed"] = True``.
+
+**Log transport.**  ``collect_logs=True`` ships each chunk's ReportLogs
+back through one shared-memory columnar block (:mod:`repro.sim.shm`)
+instead of pickling per-trial report rows.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import CancelledError, ProcessPoolExecutor
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, List, Optional, Sequence, Tuple
 
@@ -52,6 +75,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 #: Environment knob: default worker count when no explicit value is given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment knob: force the number of lockstep chunks per battery
+#: (scheduling only — results are chunk-layout invariant).
+CHUNKS_ENV = "REPRO_PARALLEL_CHUNKS"
+
+#: Environment knob: per-trial timeout budget, seconds (default 120).
+TRIAL_TIMEOUT_ENV = "REPRO_TRIAL_TIMEOUT_S"
+
+#: Environment knob: worker fault injection for the recovery tests.
+#: ``crash:<trial_index>`` exits the worker holding that trial;
+#: ``hang:<trial_index>[:secs]`` sleeps it (default 600 s).
+FAULT_ENV = "REPRO_PARALLEL_FAULT"
+
+_DEFAULT_TRIAL_TIMEOUT_S = 120.0
 
 #: Per-process override installed by :func:`workers_override` (CLI --workers).
 _override: Optional[int] = None
@@ -148,54 +185,245 @@ def _task_snapshot():
     return capture_snapshot(reset=True)
 
 
-def _motion_task(task: "Tuple[int, Motion, UserProfile, Optional[float]]"):
+def _maybe_inject_fault(indices: Sequence[int]) -> None:
+    """Honour ``REPRO_PARALLEL_FAULT`` when this chunk holds the target."""
+    spec = os.environ.get(FAULT_ENV, "")
+    if not spec:
+        return
+    parts = spec.split(":")
+    try:
+        target = int(parts[1])
+    except (IndexError, ValueError):
+        return
+    if target not in indices:
+        return
+    if parts[0] == "crash":
+        os._exit(1)
+    elif parts[0] == "hang":
+        time.sleep(float(parts[2]) if len(parts) > 2 else 600.0)
+
+
+def _motion_chunk_task(args):
+    """Run one contiguous chunk of motion trials in lockstep."""
+    chunk, collect_logs = args
+    _maybe_inject_fault([t[0] for t in chunk])
+    runner = _worker_runner
+    seed = runner.scenario.config.seed
+    items = [
+        (motion, user, speed, trial_rng(seed, index))
+        for index, motion, user, speed in chunk
+    ]
+    pairs = []
+    runner.run_motion_batch(
+        items,
+        on_trial=lambda trial: pairs.append((trial, _task_snapshot())),
+        keep_logs=collect_logs,
+    )
+    return _strip_logs(pairs, collect_logs)
+
+
+def _letter_chunk_task(args):
+    """Run one contiguous chunk of letter trials in lockstep."""
+    chunk, collect_logs = args
+    _maybe_inject_fault([t[0] for t in chunk])
+    runner = _worker_runner
+    seed = runner.scenario.config.seed
+    items = [
+        (letter, user, trial_rng(seed, index)) for index, letter, user in chunk
+    ]
+    pairs = []
+    runner.run_letter_batch(
+        items,
+        on_trial=lambda trial: pairs.append((trial, _task_snapshot())),
+        keep_logs=collect_logs,
+    )
+    return _strip_logs(pairs, collect_logs)
+
+
+def _strip_logs(pairs, collect_logs):
+    """Detach trial logs into a shared-memory payload for the return trip."""
+    if not collect_logs:
+        return pairs, None
+    from .shm import pack_logs
+
+    logs = [trial.log for trial, _ in pairs]
+    for trial, _ in pairs:
+        trial.log = None
+    return pairs, pack_logs(logs)
+
+
+def _motion_fallback(runner: "SessionRunner", task, collect_logs: bool):
     index, motion, user, speed = task
-    runner = _worker_runner
     runner.reseed(trial_rng(runner.scenario.config.seed, index))
-    trial = runner.run_motion(motion, user=user, speed=speed)
-    return trial, _task_snapshot()
+    return runner.run_motion(motion, user=user, speed=speed, keep_log=collect_logs)
 
 
-def _letter_task(task: "Tuple[int, str, UserProfile]"):
+def _letter_fallback(runner: "SessionRunner", task, collect_logs: bool):
     index, letter, user = task
-    runner = _worker_runner
     runner.reseed(trial_rng(runner.scenario.config.seed, index))
-    trial = runner.run_letter(letter, user=user)
-    return trial, _task_snapshot()
+    return runner.run_letter(letter, user=user, keep_log=collect_logs)
 
 
-def _run_pool(runner: "SessionRunner", workers: int, task_fn, tasks: list) -> list:
+# ----------------------------------------------------------------------
+# Parent-side pool cache and scheduling.
+
+_pools: "dict[tuple, ProcessPoolExecutor]" = {}
+
+
+def _pool_key(runner: "SessionRunner", flags: Tuple[bool, bool]) -> tuple:
+    return (
+        repr(runner.scenario.config),
+        repr(runner._pipeline_config),
+        runner._calibration_duration,
+        flags,
+    )
+
+
+def _get_pool(runner: "SessionRunner", flags: Tuple[bool, bool]) -> ProcessPoolExecutor:
+    key = _pool_key(runner, flags)
+    pool = _pools.get(key)
+    if pool is None:
+        pool = ProcessPoolExecutor(
+            max_workers=max(1, os.cpu_count() or 1),
+            initializer=_init_worker,
+            initargs=(
+                runner.scenario.config,
+                runner._pipeline_config,
+                runner._calibration_duration,
+                flags,
+            ),
+        )
+        _pools[key] = pool
+    return pool
+
+
+def _discard_pool(pool: ProcessPoolExecutor) -> None:
+    """Evict a broken/hung pool; best-effort terminate its workers."""
+    for key, cached in list(_pools.items()):
+        if cached is pool:
+            del _pools[key]
+    pool.shutdown(wait=False, cancel_futures=True)
+    procs = getattr(pool, "_processes", None) or {}
+    for proc in list(procs.values()):
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+
+
+def shutdown_pools() -> None:
+    """Tear down every cached worker pool (tests; interpreter exit)."""
+    for pool in list(_pools.values()):
+        pool.shutdown(wait=False, cancel_futures=True)
+    _pools.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+def _chunk_count(workers: int, n_tasks: int) -> int:
+    env = os.environ.get(CHUNKS_ENV, "").strip()
+    if env:
+        try:
+            chunks = int(env)
+        except ValueError:
+            raise ValueError(f"{CHUNKS_ENV} must be an integer, got {env!r}")
+    else:
+        # More chunks than cores just shrinks the lockstep width for no
+        # concurrency gain, so cap at the physical parallelism.
+        chunks = min(workers, os.cpu_count() or 1)
+    return max(1, min(chunks, n_tasks))
+
+
+def _split_chunks(tasks: list, n_chunks: int) -> "List[list]":
+    base, extra = divmod(len(tasks), n_chunks)
+    chunks = []
+    start = 0
+    for i in range(n_chunks):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append(tasks[start : start + size])
+        start += size
+    return chunks
+
+
+def _trial_timeout_s() -> float:
+    env = os.environ.get(TRIAL_TIMEOUT_ENV, "").strip()
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            raise ValueError(f"{TRIAL_TIMEOUT_ENV} must be a number, got {env!r}")
+    return _DEFAULT_TRIAL_TIMEOUT_S
+
+
+def _run_pool(
+    runner: "SessionRunner",
+    workers: int,
+    chunk_fn,
+    tasks: list,
+    fallback_fn,
+    collect_logs: bool,
+) -> list:
     from ..obs.metrics import get_metrics
     from ..obs.telemetry import merge_snapshot
     from ..obs.trace import get_tracer
+    from .shm import unpack_logs
 
     tracer, metrics = get_tracer(), get_metrics()
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_init_worker,
-        initargs=(
-            runner.scenario.config,
-            runner._pipeline_config,
-            runner._calibration_duration,
-            (tracer.enabled, metrics.enabled),
-        ),
-    ) as pool:
-        # Executor.map yields results in submission order regardless of
-        # which worker finishes first — both the trial list and the
-        # telemetry merge below are deterministic.
-        results = list(pool.map(task_fn, tasks))
+    pool = _get_pool(runner, (tracer.enabled, metrics.enabled))
+    chunks = _split_chunks(tasks, _chunk_count(workers, len(tasks)))
+    timeout = _trial_timeout_s()
+    futures = [pool.submit(chunk_fn, (chunk, collect_logs)) for chunk in chunks]
+
+    slots: "List[Optional[tuple]]" = [None] * len(chunks)
+    lost: "List[int]" = []
+    evicted = False
+    for ci, fut in enumerate(futures):
+        try:
+            slots[ci] = fut.result(timeout=timeout * len(chunks[ci]))
+        except (Exception, CancelledError):
+            # Crash (BrokenProcessPool), hang (TimeoutError), or a chunk
+            # cancelled by a previous eviction: drop the pool once, then
+            # re-execute every lost trial serially on the parent runner —
+            # same per-trial seeds, so the merged battery is unchanged.
+            lost.append(ci)
+            if not evicted:
+                evicted = True
+                _discard_pool(pool)
+
+    recovered = 0
+    for ci in lost:
+        slots[ci] = (
+            [
+                (fallback_fn(runner, task, collect_logs), None)
+                for task in chunks[ci]
+            ],
+            None,
+        )
+        recovered += len(chunks[ci])
+
     trials = []
     relayed = 0
-    for trial, snapshot in results:
-        trials.append(trial)
-        if snapshot is not None and not snapshot.is_empty:
-            merge_snapshot(
-                snapshot, tracer=tracer, metrics=metrics,
-                span_attrs={"relayed": True},
-            )
-            relayed += 1
-    if metrics.enabled and relayed:
-        metrics.inc("parallel.snapshots_merged", float(relayed))
+    for pairs, logs_payload in slots:
+        logs = (
+            unpack_logs(*logs_payload) if logs_payload is not None else None
+        )
+        for j, (trial, snapshot) in enumerate(pairs):
+            if logs is not None:
+                trial.log = logs[j]
+            trials.append(trial)
+            if snapshot is not None and not snapshot.is_empty:
+                merge_snapshot(
+                    snapshot, tracer=tracer, metrics=metrics,
+                    span_attrs={"relayed": True},
+                )
+                relayed += 1
+    if metrics.enabled:
+        if relayed:
+            metrics.inc("parallel.snapshots_merged", float(relayed))
+        if recovered:
+            metrics.inc("parallel.trials_recovered", float(recovered))
     return trials
 
 
@@ -205,11 +433,14 @@ def run_motion_battery_parallel(
     repeats: int,
     user: "UserProfile",
     workers: int,
+    collect_logs: bool = False,
 ) -> "List[MotionTrial]":
-    """Run a motion battery on a process pool (see module docstring)."""
+    """Run a motion battery on the persistent pool (see module docstring)."""
     ordered = [m for m in motions for _ in range(repeats)]
     tasks = [(i, m, user, None) for i, m in enumerate(ordered)]
-    return _run_pool(runner, workers, _motion_task, tasks)
+    return _run_pool(
+        runner, workers, _motion_chunk_task, tasks, _motion_fallback, collect_logs
+    )
 
 
 def run_letter_battery_parallel(
@@ -218,8 +449,11 @@ def run_letter_battery_parallel(
     repeats: int,
     user: "UserProfile",
     workers: int,
+    collect_logs: bool = False,
 ) -> "List[LetterTrial]":
-    """Run a letter battery on a process pool (see module docstring)."""
+    """Run a letter battery on the persistent pool (see module docstring)."""
     ordered = [letter for letter in letters for _ in range(repeats)]
     tasks = [(i, letter, user) for i, letter in enumerate(ordered)]
-    return _run_pool(runner, workers, _letter_task, tasks)
+    return _run_pool(
+        runner, workers, _letter_chunk_task, tasks, _letter_fallback, collect_logs
+    )

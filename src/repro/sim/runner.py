@@ -27,11 +27,17 @@ from .scenario import Scenario, ScenarioConfig, build_scenario
 
 @dataclass
 class MotionTrial:
-    """Outcome of one single-motion session."""
+    """Outcome of one single-motion session.
+
+    ``log`` is only populated when the battery ran with
+    ``collect_logs=True`` (excluded from equality: two trials with the
+    same outcome compare equal whether or not their logs were kept).
+    """
 
     truth: Motion
     observed: Optional[StrokeObservation]
     log_size: int
+    log: Optional[ReportLog] = field(default=None, repr=False, compare=False)
 
     @property
     def shape_correct(self) -> bool:
@@ -64,6 +70,7 @@ class LetterTrial:
     result: LetterResult
     true_stroke_intervals: List[Tuple[float, float]]
     true_stroke_tokens: Tuple[str, ...]
+    log: Optional[ReportLog] = field(default=None, repr=False, compare=False)
 
     @property
     def correct(self) -> bool:
@@ -116,24 +123,96 @@ class SessionRunner:
         motion: Motion,
         user: UserProfile = DEFAULT_USER,
         speed: Optional[float] = None,
+        keep_log: bool = False,
     ) -> MotionTrial:
         with get_tracer().span("trial.motion", truth=motion.label) as sp:
             script = script_for_motion(motion, self.rng, user=user, speed=speed)
             log = self.run_script(script)
             observed = self.pad.detect_motion(log)
             trial = MotionTrial(truth=motion, observed=observed, log_size=len(log))
+            if keep_log:
+                trial.log = log
             sp.set(
                 observed=observed.label if observed is not None else None,
                 correct=trial.fully_correct,
                 reads=len(log),
             )
+        self._note_motion_trial(trial)
+        return trial
+
+    @staticmethod
+    def _note_motion_trial(trial: MotionTrial) -> None:
         metrics = get_metrics()
         if metrics.enabled:
             metrics.inc("runner.motion_trials")
             metrics.inc("runner.motion_detected", float(trial.detected))
             metrics.inc("runner.motion_shape_correct", float(trial.shape_correct))
             metrics.inc("runner.motion_correct", float(trial.fully_correct))
-        return trial
+
+    def run_motion_batch(
+        self,
+        items: Sequence[Tuple[Motion, UserProfile, Optional[float], np.random.Generator]],
+        on_trial: Optional[Callable[[MotionTrial], None]] = None,
+        keep_logs: bool = False,
+    ) -> List[MotionTrial]:
+        """Run many independent motion trials through one lockstep collect.
+
+        ``items`` rows are ``(motion, user, speed, rng)`` — each trial's
+        private RNG stream, exactly as :meth:`reseed` + :meth:`run_motion`
+        would consume it, so every trial's log is bit-identical to its solo
+        counterpart regardless of how trials are grouped into batches.
+        ``on_trial`` fires after each trial's assembly and metrics (the
+        parallel worker captures its per-trial telemetry snapshot there).
+
+        Falls back to the solo loop when the reader cannot run the
+        trial-axis path (scalar channel/inventory modes).
+        """
+        if not items:
+            return []
+        if not self.reader.supports_trial_batch:
+            trials = []
+            for motion, user, speed, rng in items:
+                self.reseed(rng)
+                trial = self.run_motion(motion, user=user, speed=speed, keep_log=keep_logs)
+                if on_trial is not None:
+                    on_trial(trial)
+                trials.append(trial)
+            return trials
+        from ..rfid.reader import CollectSpec
+
+        prepared = []
+        specs = []
+        for motion, user, speed, rng in items:
+            script = script_for_motion(motion, rng, user=user, speed=speed)
+            prepared.append((motion, script))
+            specs.append(
+                CollectSpec(
+                    duration=script.duration,
+                    hand_pose_at=script.hand_pose_at,
+                    rng=rng,
+                )
+            )
+        lanes = self.reader.collect_batch(specs)
+        trials = []
+        for (motion, script), lane in zip(prepared, lanes):
+            with get_tracer().span("trial.motion", truth=motion.label) as sp:
+                log = self.reader.emit_lane(lane)
+                observed = self.pad.detect_motion(log)
+                trial = MotionTrial(
+                    truth=motion, observed=observed, log_size=len(log)
+                )
+                if keep_logs:
+                    trial.log = log
+                sp.set(
+                    observed=observed.label if observed is not None else None,
+                    correct=trial.fully_correct,
+                    reads=len(log),
+                )
+            self._note_motion_trial(trial)
+            if on_trial is not None:
+                on_trial(trial)
+            trials.append(trial)
+        return trials
 
     def run_motion_battery(
         self,
@@ -141,6 +220,7 @@ class SessionRunner:
         repeats: int,
         user: UserProfile = DEFAULT_USER,
         workers: Optional[int] = None,
+        collect_logs: bool = False,
     ) -> List[MotionTrial]:
         """Run ``len(motions) * repeats`` motion trials.
 
@@ -150,7 +230,8 @@ class SessionRunner:
         trials out to a process pool with per-trial seeded streams —
         deterministic in the scenario seed and independent of the worker
         count, but a *different* (equally valid) draw sequence than the
-        serial loop.
+        serial loop.  ``collect_logs=True`` attaches each trial's
+        :class:`ReportLog` (shipped back over shared memory from workers).
         """
         from .parallel import resolve_workers, run_motion_battery_parallel
 
@@ -160,10 +241,13 @@ class SessionRunner:
             trials = []
             for motion in motions:
                 for _ in range(repeats):
-                    trials.append(self.run_motion(motion, user=user))
+                    trials.append(
+                        self.run_motion(motion, user=user, keep_log=collect_logs)
+                    )
             return trials
         return run_motion_battery_parallel(
-            self, motions, repeats, user=user, workers=n_workers
+            self, motions, repeats, user=user, workers=n_workers,
+            collect_logs=collect_logs,
         )
 
     @staticmethod
@@ -174,7 +258,7 @@ class SessionRunner:
             metrics.set_gauge("runner.battery_workers", float(max(n_workers, 0)))
 
     def run_letter(
-        self, letter: str, user: UserProfile = DEFAULT_USER
+        self, letter: str, user: UserProfile = DEFAULT_USER, keep_log: bool = False
     ) -> LetterTrial:
         with get_tracer().span("trial.letter", truth=letter.upper()) as sp:
             script = script_for_letter(letter, self.rng, user=user)
@@ -188,12 +272,73 @@ class SessionRunner:
                     s.shape_token for s in LETTER_STROKES[letter.upper()]
                 ),
             )
+            if keep_log:
+                trial.log = log
             sp.set(observed=result.letter, correct=trial.correct, reads=len(log))
+        self._note_letter_trial(trial)
+        return trial
+
+    @staticmethod
+    def _note_letter_trial(trial: LetterTrial) -> None:
         metrics = get_metrics()
         if metrics.enabled:
             metrics.inc("runner.letter_trials")
             metrics.inc("runner.letter_correct", float(trial.correct))
-        return trial
+
+    def run_letter_batch(
+        self,
+        items: Sequence[Tuple[str, UserProfile, np.random.Generator]],
+        on_trial: Optional[Callable[[LetterTrial], None]] = None,
+        keep_logs: bool = False,
+    ) -> List[LetterTrial]:
+        """Letter counterpart of :meth:`run_motion_batch`."""
+        if not items:
+            return []
+        if not self.reader.supports_trial_batch:
+            trials = []
+            for letter, user, rng in items:
+                self.reseed(rng)
+                trial = self.run_letter(letter, user=user, keep_log=keep_logs)
+                if on_trial is not None:
+                    on_trial(trial)
+                trials.append(trial)
+            return trials
+        from ..rfid.reader import CollectSpec
+
+        prepared = []
+        specs = []
+        for letter, user, rng in items:
+            script = script_for_letter(letter, rng, user=user)
+            prepared.append((letter, script))
+            specs.append(
+                CollectSpec(
+                    duration=script.duration,
+                    hand_pose_at=script.hand_pose_at,
+                    rng=rng,
+                )
+            )
+        lanes = self.reader.collect_batch(specs)
+        trials = []
+        for (letter, script), lane in zip(prepared, lanes):
+            with get_tracer().span("trial.letter", truth=letter.upper()) as sp:
+                log = self.reader.emit_lane(lane)
+                result = self.pad.recognize_letter(log)
+                trial = LetterTrial(
+                    truth=letter.upper(),
+                    result=result,
+                    true_stroke_intervals=script.stroke_intervals(),
+                    true_stroke_tokens=tuple(
+                        s.shape_token for s in LETTER_STROKES[letter.upper()]
+                    ),
+                )
+                if keep_logs:
+                    trial.log = log
+                sp.set(observed=result.letter, correct=trial.correct, reads=len(log))
+            self._note_letter_trial(trial)
+            if on_trial is not None:
+                on_trial(trial)
+            trials.append(trial)
+        return trials
 
     def run_letter_battery(
         self,
@@ -201,6 +346,7 @@ class SessionRunner:
         repeats: int,
         user: UserProfile = DEFAULT_USER,
         workers: Optional[int] = None,
+        collect_logs: bool = False,
     ) -> List[LetterTrial]:
         """Letter-battery counterpart of :meth:`run_motion_battery`."""
         from .parallel import resolve_workers, run_letter_battery_parallel
@@ -211,8 +357,11 @@ class SessionRunner:
             trials = []
             for letter in letters:
                 for _ in range(repeats):
-                    trials.append(self.run_letter(letter, user=user))
+                    trials.append(
+                        self.run_letter(letter, user=user, keep_log=collect_logs)
+                    )
             return trials
         return run_letter_battery_parallel(
-            self, letters, repeats, user=user, workers=n_workers
+            self, letters, repeats, user=user, workers=n_workers,
+            collect_logs=collect_logs,
         )

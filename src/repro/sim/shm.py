@@ -1,0 +1,150 @@
+"""Shared-memory columnar transport for worker-produced ReportLogs.
+
+A trial's :class:`~repro.rfid.reports.ReportLog` is columnar already —
+five numeric columns plus a per-tag EPC string column — so shipping logs
+from a worker back to the parent does not need pickle's per-row object
+walk.  :func:`pack_logs` lays every numeric column of every log in a
+chunk end-to-end inside **one** ``multiprocessing.shared_memory`` block;
+the pickled payload is just the block name plus a small metadata dict
+(row counts, antenna ports, and the ``tag_index -> epc`` maps needed to
+reconstruct the string column).  :func:`unpack_logs` copies the columns
+out in the parent and unlinks the block.
+
+The EPC column never crosses the process boundary as strings-per-row:
+EPCs are a static property of the deployment, so a per-log
+``{tag_index: epc}`` dict (a few dozen short strings) regenerates the
+column exactly.
+
+When ``shared_memory`` is unavailable or the segment cannot be created,
+:func:`pack_logs` degrades to carrying the logs in the pickled payload
+itself — same result, just slower for large batteries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..rfid.reports import ReportLog
+
+try:  # pragma: no cover - stdlib, but gate for exotic platforms
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None
+
+#: Numeric columns shipped per log, in layout order.  ``tag`` rides as
+#: float64 (tag indices are tiny, so the round-trip is lossless).
+_N_COLS = 5
+
+
+def pack_logs(logs: Sequence[Optional[ReportLog]]) -> Tuple[str, object]:
+    """Pack a chunk's logs for transport; returns ``(kind, payload)``.
+
+    ``kind`` is ``"shm"`` (payload: metadata dict referencing a shared
+    memory block the *receiver* must unlink) or ``"pickle"`` (payload:
+    the logs themselves; nothing else to clean up).
+    """
+    if shared_memory is None:
+        return "pickle", list(logs)
+    metas = []
+    columns: List[Tuple[np.ndarray, ...]] = []
+    total = 0
+    for log in logs:
+        if log is None:
+            metas.append(None)
+            columns.append(None)
+            continue
+        ts, tag, phase, rss, dopp, port, epc = log.columns()
+        epc_map: Dict[int, str] = {}
+        for t, e in zip(tag.tolist(), epc.tolist()):
+            if t not in epc_map:
+                epc_map[t] = e
+        metas.append(
+            {
+                "rows": int(ts.size),
+                "port": int(port[0]) if port.size else 1,
+                "epc_map": epc_map,
+            }
+        )
+        columns.append((ts, tag, phase, rss, dopp))
+        total += int(ts.size)
+    try:
+        block = shared_memory.SharedMemory(
+            create=True, size=max(8, total * 8 * _N_COLS)
+        )
+    except OSError:
+        return "pickle", list(logs)
+    try:
+        # Ownership moves with the payload: the receiver unlinks in
+        # unpack_logs.  Unregister here so the fork-shared resource
+        # tracker does not report the cross-process unlink as a leak
+        # (CPython gh-82300: attach/create both register per process).
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(block._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker API is semi-private
+        pass
+    buf = np.ndarray((_N_COLS, total), dtype=np.float64, buffer=block.buf)
+    offset = 0
+    for cols in columns:
+        if cols is None:
+            continue
+        ts, tag, phase, rss, dopp = cols
+        n = ts.size
+        buf[0, offset : offset + n] = ts
+        buf[1, offset : offset + n] = tag
+        buf[2, offset : offset + n] = phase
+        buf[3, offset : offset + n] = rss
+        buf[4, offset : offset + n] = dopp
+        offset += n
+    payload = {"name": block.name, "total": total, "metas": metas}
+    del buf
+    block.close()
+    return "shm", payload
+
+
+def unpack_logs(kind: str, payload: object) -> List[Optional[ReportLog]]:
+    """Reverse :func:`pack_logs` in the parent; unlinks the shm block."""
+    if kind == "pickle":
+        return list(payload)
+    assert kind == "shm" and shared_memory is not None
+    meta = payload
+    block = shared_memory.SharedMemory(name=meta["name"])
+    try:
+        buf = np.ndarray(
+            (_N_COLS, meta["total"]), dtype=np.float64, buffer=block.buf
+        )
+        logs: List[Optional[ReportLog]] = []
+        offset = 0
+        for entry in meta["metas"]:
+            if entry is None:
+                logs.append(None)
+                continue
+            n = entry["rows"]
+            ts = np.array(buf[0, offset : offset + n])
+            tag = buf[1, offset : offset + n].astype(np.int64)
+            phase = np.array(buf[2, offset : offset + n])
+            rss = np.array(buf[3, offset : offset + n])
+            dopp = np.array(buf[4, offset : offset + n])
+            offset += n
+            epc_map = entry["epc_map"]
+            log = ReportLog()
+            log.extend_columns(
+                ts,
+                tag,
+                phase,
+                rss,
+                dopp,
+                [epc_map[t] for t in tag.tolist()],
+                antenna_port=entry["port"],
+            )
+            logs.append(log)
+        del buf
+    finally:
+        block.close()
+        try:
+            block.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+    return logs

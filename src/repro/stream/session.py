@@ -42,7 +42,7 @@ unlabeled aggregate gauges keep reflecting the most recent activity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from ..core.events import LetterResult, SegmentedWindow, StrokeObservation
 from ..core.pipeline import RFIPad
@@ -57,26 +57,32 @@ __all__ = ["LetterEvent", "StreamEvent", "StreamingSession", "StrokeEvent"]
 
 @dataclass(frozen=True)
 class StrokeEvent:
-    """One closed stroke window and its analysis.
+    """One stroke window and its analysis.
 
     ``stroke`` is ``None`` when the window held no classifiable
     disturbance (the batch pipeline drops such windows from the stroke
     list the same way).  ``emitted_at`` is stream time — the timestamp of
     the newest read seen when the event fired — so ``emitted_at -
-    window.t1`` is the end-to-end event latency.
+    window.t1`` is the end-to-end event latency.  ``final`` is false for
+    provisional previews of a still-forming window (see
+    ``StreamingSession(provisional=True)``); every provisional event is
+    eventually superseded by a final one, and only final events feed the
+    session's window/stroke state.
     """
 
     window: SegmentedWindow
     stroke: Optional[StrokeObservation]
     emitted_at: float
+    final: bool = True
 
 
 @dataclass(frozen=True)
 class LetterEvent:
-    """The end-of-session tree-grammar composition."""
+    """The tree-grammar composition (provisional mid-session or final)."""
 
     result: LetterResult
     emitted_at: float
+    final: bool = True
 
 
 StreamEvent = Union[StrokeEvent, LetterEvent]
@@ -101,6 +107,15 @@ class StreamingSession:
         Optional tenant identity.  When set, the session's gauges are
         *also* published under a ``{"session": session_id}`` label so
         concurrent sessions stay distinguishable on a scrape.
+    provisional:
+        When true, each ingested chunk may additionally emit
+        ``final=False`` preview events: a :class:`StrokeEvent` for the
+        segmenter's best guess of the still-forming window, followed by a
+        :class:`LetterEvent` re-running the grammar with that guess
+        appended — so a UI can show the letter forming instead of waiting
+        for window closure.  Provisional events are recorded in
+        :attr:`events` only; the final window/stroke/letter stream is
+        **bit-identical** to ``provisional=False`` (and to batch).
     """
 
     def __init__(
@@ -108,6 +123,7 @@ class StreamingSession:
         pad: RFIPad,
         bounded: bool = True,
         session_id: Optional[str] = None,
+        provisional: bool = False,
     ) -> None:
         self._ctx: StageContext = pad.stage_context()
         stages = pad.stages
@@ -116,6 +132,7 @@ class StreamingSession:
         self._segmenter: StreamSegmenter = stages.segmentation.stream(self._ctx)
         self.bounded = bounded
         self.session_id = session_id
+        self.provisional = provisional
         self._labels = {"session": session_id} if session_id else None
         self._buffer = ReportLog()
         self._events: List[StreamEvent] = []
@@ -124,6 +141,10 @@ class StreamingSession:
         self._now: Optional[float] = None
         self._letter: Optional[LetterResult] = None
         self._finalized = False
+        # -- provisional-preview state (inert unless provisional=True) --
+        self._prov_key: Optional[Tuple[float, float]] = None
+        self._letter_shown: Optional[str] = None    # letter currently displayed
+        self._letter_settled_at: Optional[float] = None
 
     # -- ingestion -----------------------------------------------------
 
@@ -143,6 +164,8 @@ class StreamingSession:
             windows = self._segmenter.ingest(ts, tag, phase)
             events = [self._emit(w) for w in windows]
             dropped = self._prune()
+            if self.provisional:
+                self._provisional_pass(events)
             sp.set(windows=len(windows), buffered=len(self._buffer))
         if metrics.enabled:
             metrics.inc("stream.chunks")
@@ -182,6 +205,8 @@ class StreamingSession:
             )
             self._events.append(letter_event)
             events.append(letter_event)
+            if self.provisional:
+                self._note_letter_settle(letter_event)
             sp.set(windows=len(events) - 1, letter=self._letter.letter)
         metrics = get_metrics()
         if metrics.enabled:
@@ -222,7 +247,7 @@ class StreamingSession:
         if self._windows:
             target = widest_window(self._windows)
             for ev in self._events:
-                if isinstance(ev, StrokeEvent) and ev.window == target:
+                if isinstance(ev, StrokeEvent) and ev.final and ev.window == target:
                     return ev.stroke
         if len(self._buffer) == 0:
             return None
@@ -249,6 +274,60 @@ class StreamingSession:
         return self._buffer.drop_before(horizon)
 
     # -- internals -----------------------------------------------------
+
+    def _provisional_pass(self, events: List[StreamEvent]) -> None:
+        """Emit ``final=False`` preview events when the open segment moved.
+
+        Previews touch ``_events`` (history) and the caller's return list
+        only — never ``_windows``/``_strokes`` — so every *final* event,
+        and the end-of-session grammar run, stays bit-identical to a
+        ``provisional=False`` session on the same chunks.
+        """
+        seg = self._segmenter.provisional_segment()
+        if seg is None:
+            return
+        t0, t1, peak = seg
+        if t1 - t0 < self._segmenter.config.min_stroke_s:
+            return
+        key = (t0, t1)
+        if key == self._prov_key:
+            return
+        self._prov_key = key
+        now = self._now if self._now is not None else t1
+        window = SegmentedWindow(t0, t1, peak)
+        obs = self._analyzer.analyze(self._ctx, self._buffer, t0, t1)
+        stroke_event = StrokeEvent(
+            window=window, stroke=obs, emitted_at=now, final=False
+        )
+        strokes = self._strokes + ([obs] if obs is not None else [])
+        result = self._grammar.run(strokes, self._windows + [window])
+        letter_event = LetterEvent(result=result, emitted_at=now, final=False)
+        self._events.extend((stroke_event, letter_event))
+        events.extend((stroke_event, letter_event))
+        if self._letter_shown != result.letter:
+            self._letter_shown = result.letter
+            self._letter_settled_at = now
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("stream.provisional_events")
+            metrics.observe("stream.provisional_latency_s", max(0.0, now - t1))
+
+    def _note_letter_settle(self, event: LetterEvent) -> None:
+        """Record how long the *displayed* letter took to stop changing.
+
+        When the final composition agrees with the last preview, the user
+        already saw the right letter at ``_letter_settled_at``; otherwise
+        the correction only lands with the final event.  Latency is
+        measured from the last final window's close — the earliest moment
+        the full letter could possibly be known.
+        """
+        settled = self._letter_settled_at
+        if self._letter_shown != event.result.letter or settled is None:
+            settled = event.emitted_at
+        base = self._windows[-1].t1 if self._windows else settled
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.observe("stream.letter_latency_s", max(0.0, settled - base))
 
     def _emit(self, window: SegmentedWindow) -> StrokeEvent:
         obs = self._analyzer.analyze(self._ctx, self._buffer, window.t0, window.t1)

@@ -204,3 +204,69 @@ class TestEngineCounters:
             "single_calls": 0,
             "tags_evaluated": 0,
         }
+
+
+class TestScenePowersTrials:
+    """Trial-axis readability: every lane row bitwise equals its solo call."""
+
+    def _template(self, rng):
+        offsets = np.zeros((4, 3))
+        offsets[1:] = rng.uniform(-0.12, 0.12, (3, 3))
+        rcs = rng.uniform(0.001, 0.02, 4)
+        shadow = (12.0, 0.08, 0.12)
+        return offsets, rcs, shadow
+
+    def test_rows_bitwise_equal_solo(self):
+        rng = np.random.default_rng(404)
+        for _ in range(4):
+            antenna, tag_positions, tag_gains, images, _, loss_db = random_case(rng)
+            _, engine = build_pair(antenna, tag_positions, tag_gains, images)
+            base = engine.static_base(loss_db)
+            offsets, rcs, shadow = self._template(rng)
+            hand_xyz = rng.uniform(-0.25, 0.25, (6, 3))
+            batched = engine.scene_powers_trials(
+                base, 1.0, 0.92, hand_xyz, offsets, rcs, shadow
+            )
+            assert batched.shape == (6, len(tag_positions))
+            for t in range(6):
+                solo = engine.scene_powers(
+                    base, 1.0, 0.92,
+                    hand_xyz=tuple(hand_xyz[t].tolist()),
+                    offsets=offsets, rcs=rcs, shadow=shadow,
+                )
+                assert np.array_equal(batched[t], solo)
+
+    def test_degenerate_hop_rows_match_solo(self):
+        # A lane whose hand sits exactly on the antenna exercises the
+        # masked (invalid-hop) path for that lane only; all rows must
+        # still equal their solo evaluations.
+        rng = np.random.default_rng(405)
+        antenna, tag_positions, tag_gains, images, _, _ = random_case(rng)
+        _, engine = build_pair(antenna, tag_positions, tag_gains, images)
+        base = engine.static_base(0.0)
+        offsets, rcs, shadow = self._template(rng)
+        hand_xyz = rng.uniform(-0.2, 0.2, (3, 3))
+        hand_xyz[1] = (antenna.position.x, antenna.position.y, antenna.position.z)
+        batched = engine.scene_powers_trials(
+            base, 1.0, 0.9, hand_xyz, offsets, rcs, shadow
+        )
+        for t in range(3):
+            solo = engine.scene_powers(
+                base, 1.0, 0.9, hand_xyz=tuple(hand_xyz[t].tolist()),
+                offsets=offsets, rcs=rcs, shadow=shadow,
+            )
+            assert np.array_equal(batched[t], solo)
+
+    def test_counters_advance_lane_equivalently(self):
+        rng = np.random.default_rng(406)
+        antenna, tag_positions, tag_gains, images, _, _ = random_case(rng)
+        _, engine = build_pair(antenna, tag_positions, tag_gains, images)
+        base = engine.static_base(0.0)
+        offsets, rcs, shadow = self._template(rng)
+        engine.drain_counters()
+        engine.scene_powers_trials(
+            base, 1.0, 0.9, rng.uniform(-0.2, 0.2, (5, 3)), offsets, rcs, shadow
+        )
+        counters = engine.drain_counters()
+        assert counters["batch_calls"] == 5
+        assert counters["tags_evaluated"] == 5 * len(tag_positions)

@@ -1,0 +1,97 @@
+"""Trial-axis collection: batched batteries must be bitwise solo-equal.
+
+The tentpole contract of the trial-axis path: grouping trials into one
+lockstep :meth:`Reader.collect_batch` evaluation — whatever the grouping
+— changes *nothing* observable.  Every trial's ReportLog is byte-for-byte
+the log its solo ``reseed + run_motion`` counterpart collects, because
+each lane keeps its own RNG stream and every shared numpy evaluation is
+bit-identical per lane (see DESIGN.md §13).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.motion.strokes import all_motions
+from repro.motion.user import DEFAULT_USER
+from repro.sim.parallel import trial_rng
+from repro.sim.runner import SessionRunner
+from repro.sim.scenario import ScenarioConfig, build_scenario
+
+
+def _columns_equal(a, b) -> bool:
+    ca, cb = a.columns(), b.columns()
+    for va, vb in zip(ca, cb):
+        if isinstance(va, np.ndarray):
+            if not np.array_equal(va, vb):
+                return False
+        elif list(va) != list(vb):
+            return False
+    return True
+
+
+def _motion_items(seed: int, n_each: int):
+    motions = all_motions()[:3]
+    return [
+        (m, DEFAULT_USER, None, trial_rng(seed, i * n_each + j))
+        for i, m in enumerate(motions)
+        for j in range(n_each)
+    ]
+
+
+class TestMotionBatchBitIdentity:
+    def test_batch_logs_equal_solo_logs(self):
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=19)))
+        batched = runner.run_motion_batch(_motion_items(19, 2), keep_logs=True)
+
+        solo = []
+        for motion, user, speed, rng in _motion_items(19, 2):
+            runner.reseed(rng)
+            solo.append(
+                runner.run_motion(motion, user=user, speed=speed, keep_log=True)
+            )
+
+        assert len(batched) == len(solo) == 6
+        for tb, ts in zip(batched, solo):
+            assert tb.truth == ts.truth
+            assert (tb.observed is None) == (ts.observed is None)
+            if tb.observed is not None:
+                assert tb.observed.label == ts.observed.label
+            assert tb.log_size == ts.log_size > 0
+            assert _columns_equal(tb.log, ts.log)
+
+    def test_batch_composition_does_not_change_results(self):
+        # One fat batch vs two sub-batches over the same items: lanes are
+        # independent, so the grouping is pure scheduling.
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=19)))
+        whole = runner.run_motion_batch(_motion_items(19, 2), keep_logs=True)
+        items = _motion_items(19, 2)
+        split = runner.run_motion_batch(
+            items[:2], keep_logs=True
+        ) + runner.run_motion_batch(items[2:], keep_logs=True)
+        for tw, tsp in zip(whole, split):
+            assert tw.log_size == tsp.log_size
+            assert _columns_equal(tw.log, tsp.log)
+
+
+class TestLetterBatchBitIdentity:
+    def test_batch_logs_equal_solo_logs(self):
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=23)))
+        items = [
+            (letter, DEFAULT_USER, trial_rng(23, i))
+            for i, letter in enumerate(["T", "H", "L"])
+        ]
+        batched = runner.run_letter_batch(items, keep_logs=True)
+
+        solo = []
+        for letter, user, rng in [
+            (letter, DEFAULT_USER, trial_rng(23, i))
+            for i, letter in enumerate(["T", "H", "L"])
+        ]:
+            runner.reseed(rng)
+            solo.append(runner.run_letter(letter, user=user, keep_log=True))
+
+        for tb, ts in zip(batched, solo):
+            assert tb.truth == ts.truth
+            assert tb.result.letter == ts.result.letter
+            assert _columns_equal(tb.log, ts.log)

@@ -100,3 +100,36 @@ class TestParallelBattery:
         assert _motion_sig(a.run_motion_battery(motions, 1)) == _motion_sig(
             b.run_motion_battery(motions, 1)
         )
+
+
+class TestChunkLayoutInvariance:
+    def test_chunk_count_does_not_change_logs(self, monkeypatch):
+        # Chunking is pure scheduling: 1 fat lockstep chunk vs 3 narrow
+        # ones must produce byte-for-byte the same battery.
+        motions = all_motions()[:3]
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNKS", "1")
+        r1 = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        t1 = r1.run_motion_battery(motions, 1, workers=4, collect_logs=True)
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNKS", "3")
+        r3 = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        t3 = r3.run_motion_battery(motions, 1, workers=4, collect_logs=True)
+        assert _motion_sig(t1) == _motion_sig(t3)
+        for a, b in zip(t1, t3):
+            assert a.log is not None and b.log is not None
+            for va, vb in zip(a.log.columns(), b.log.columns()):
+                if isinstance(va, np.ndarray):
+                    assert np.array_equal(va, vb)
+                else:
+                    assert list(va) == list(vb)
+
+    def test_chunks_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL_CHUNKS", "lots")
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        with pytest.raises(ValueError):
+            runner.run_motion_battery(all_motions()[:1], 1, workers=2)
+
+    def test_timeout_env_rejects_garbage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRIAL_TIMEOUT_S", "forever")
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        with pytest.raises(ValueError):
+            runner.run_motion_battery(all_motions()[:1], 1, workers=2)

@@ -89,3 +89,45 @@ class TestWorkerCountInvariance:
             assert len(trials) == 2
             assert metrics.state()["counters"] == {}
             assert tracer.finished == []
+
+
+def _observed_two_batteries(workers: int):
+    """Two batteries through the same scoped registries (and, for
+    ``workers >= 1``, the same warmed persistent pool)."""
+    motions = all_motions()[:3]
+    with scoped_tracer(Tracer(enabled=True)) as tracer, scoped_metrics(
+        MetricsRegistry(enabled=True)
+    ) as metrics:
+        runner = SessionRunner(build_scenario(ScenarioConfig(seed=11)))
+        runner.run_motion_battery(motions, 1, workers=workers)
+        runner.run_motion_battery(motions, 1, workers=workers)
+        state = metrics.state()
+        spans = list(tracer.finished)
+    return state, spans
+
+
+class TestWarmWorkerReuse:
+    """Persistent workers must reset per-trial telemetry between reuses.
+
+    The second battery runs on workers that already served the first; if
+    any trial-scoped state leaked across reuse, the 1-vs-2-worker totals
+    (or the exact trial counts) would diverge.
+    """
+
+    def test_reused_pool_totals_match_across_worker_counts(self):
+        s1, _ = _observed_two_batteries(workers=1)
+        s2, _ = _observed_two_batteries(workers=2)
+        assert s1["counters"] == s2["counters"]
+        assert s1["histograms"] == s2["histograms"]
+
+    def test_reused_pool_counts_exactly_both_batteries(self):
+        state, spans = _observed_two_batteries(workers=2)
+        counters = state["counters"]
+        assert counters["runner.motion_trials"] == 6.0
+        assert counters["runner.batteries"] == 2.0
+        # One relayed snapshot per trial — calibration telemetry was
+        # discarded once at worker init, never per battery.
+        assert counters["parallel.snapshots_merged"] == 6.0
+        trial_spans = [s for s in spans if s.name == "trial.motion"]
+        assert len(trial_spans) == 6
+        assert all(s.attrs.get("relayed") is True for s in trial_spans)

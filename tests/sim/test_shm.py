@@ -1,0 +1,77 @@
+"""Shared-memory columnar log transport (repro.sim.shm)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rfid.reports import ReportLog
+from repro.sim.shm import pack_logs, unpack_logs
+
+
+def _make_log(rng: np.random.Generator, rows: int, port: int = 1) -> ReportLog:
+    ts = np.sort(rng.uniform(0.0, 3.0, rows))
+    tag = rng.integers(0, 5, rows).astype(np.int64)
+    log = ReportLog()
+    log.extend_columns(
+        ts,
+        tag,
+        rng.uniform(0.0, 6.28, rows),
+        rng.uniform(-70.0, -30.0, rows),
+        rng.standard_normal(rows),
+        [f"E2000000000000000000{int(t):04d}" for t in tag.tolist()],
+        antenna_port=port,
+    )
+    return log
+
+
+def _assert_logs_equal(a: ReportLog, b: ReportLog) -> None:
+    ca, cb = a.columns(), b.columns()
+    for va, vb in zip(ca, cb):
+        if isinstance(va, np.ndarray):
+            assert np.array_equal(va, vb)
+            assert va.dtype == vb.dtype
+        else:
+            assert list(va) == list(vb)
+
+
+class TestPackUnpackRoundTrip:
+    def test_round_trip_is_exact(self, rng):
+        logs = [_make_log(rng, 40), _make_log(rng, 7, port=2), _make_log(rng, 0)]
+        kind, payload = pack_logs(logs)
+        assert kind == "shm"  # Linux CI always has shared_memory
+        out = unpack_logs(kind, payload)
+        assert len(out) == 3
+        for orig, got in zip(logs, out):
+            _assert_logs_equal(orig, got)
+
+    def test_none_entries_survive(self, rng):
+        logs = [None, _make_log(rng, 12), None]
+        kind, payload = pack_logs(logs)
+        out = unpack_logs(kind, payload)
+        assert out[0] is None and out[2] is None
+        _assert_logs_equal(logs[1], out[1])
+
+    def test_empty_chunk(self):
+        kind, payload = pack_logs([])
+        assert unpack_logs(kind, payload) == []
+
+    def test_pickle_fallback_round_trips(self, rng):
+        logs = [_make_log(rng, 9)]
+        out = unpack_logs("pickle", list(logs))
+        _assert_logs_equal(logs[0], out[0])
+
+
+class TestBatteryLogTransport:
+    def test_parallel_collect_logs_equal_workers1(self):
+        from repro.motion.strokes import all_motions
+        from repro.sim.runner import SessionRunner
+        from repro.sim.scenario import ScenarioConfig, build_scenario
+
+        motions = all_motions()[:2]
+        r1 = SessionRunner(build_scenario(ScenarioConfig(seed=29)))
+        t1 = r1.run_motion_battery(motions, 1, workers=1, collect_logs=True)
+        r2 = SessionRunner(build_scenario(ScenarioConfig(seed=29)))
+        t2 = r2.run_motion_battery(motions, 1, workers=2, collect_logs=True)
+        assert all(t.log is not None and len(t.log) > 0 for t in t1)
+        for a, b in zip(t1, t2):
+            _assert_logs_equal(a.log, b.log)
