@@ -187,6 +187,82 @@ def _stream_provisional_p95_ms() -> Dict[str, "float | None"]:
         return out
 
 
+#: Serving-leg shape: the acceptance bar is >= 200 concurrent real-time
+#: sessions on the 1-core container with finalized-letter p95 < 150 ms.
+SERVE_SESSIONS = 200
+SERVE_CHUNK_S = 0.4
+SERVE_RAMP_S = 2.0
+
+
+def _serve_leg() -> Dict[str, "float | None"]:
+    """Multi-session serving throughput: 200 concurrent paced writers.
+
+    A :class:`BackgroundHub` serves on an ephemeral port while the
+    loadgen drives ``SERVE_SESSIONS`` concurrent writers, each replaying
+    a seed-11 letter-"T" session over its own TCP connection in
+    real-time-paced ``SERVE_CHUNK_S`` report batches (starts staggered
+    across ``SERVE_RAMP_S`` — writers are not phase-locked in real
+    deployments).  ``serve_event_p95_ms`` is the client-perceived
+    finalize-to-letter tail latency; ``serve_hub_event_p95_ms`` is the
+    hub-side enqueue-to-emit lag of final events.  Runs at full scale in
+    smoke mode too: the 200-session bar *is* the acceptance criterion,
+    and the leg costs seconds, not minutes.
+    """
+    from repro.obs.metrics import MetricsRegistry, scoped_metrics
+    from repro.serve import BackgroundHub, HubConfig
+    from repro.serve.loadgen import run_loadgen_sync, session_logs
+
+    runner = SessionRunner(
+        build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
+    )
+    logs = session_logs(runner, "T", 4)
+    with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+        hub = BackgroundHub(
+            runner.pad, HubConfig(port=0, workers=1, batch_sessions=32)
+        )
+        try:
+            result = run_loadgen_sync(
+                hub.address[0],
+                hub.address[1],
+                logs,
+                sessions=SERVE_SESSIONS,
+                chunk_s=SERVE_CHUNK_S,
+                time_scale=1.0,
+                pace=True,
+                ramp_s=SERVE_RAMP_S,
+                expected_letter="T",
+            )
+        finally:
+            hub.stop()
+        hist = metrics.get_histogram("serve.event_latency_s")
+        hub_p95 = (
+            round(hist.percentile(95.0) * 1e3, 4)
+            if hist is not None and hist.count
+            else None
+        )
+        dropped = metrics.counter_value("serve.dropped_chunks")
+    assert result.completed == SERVE_SESSIONS, (
+        f"serving leg: only {result.completed}/{SERVE_SESSIONS} sessions "
+        f"completed; errors: {result.errors[:3]}"
+    )
+    assert result.peak_concurrent >= SERVE_SESSIONS, (
+        f"serving leg never reached {SERVE_SESSIONS} concurrent sessions "
+        f"(peak {result.peak_concurrent})"
+    )
+    assert result.letters_expected == result.completed, (
+        "serving leg: some sessions finalized the wrong letter — the hub "
+        "is not stream-equivalent under concurrency"
+    )
+    return {
+        "serve_concurrent_sessions": float(result.peak_concurrent),
+        "serve_sessions_per_s": round(result.sessions_per_s, 2),
+        "serve_event_p95_ms": round(result.event_p95_ms, 4),
+        "serve_event_p99_ms": round(result.event_p99_ms, 4),
+        "serve_hub_event_p95_ms": hub_p95,
+        "serve_dropped_chunks": dropped,
+    }
+
+
 def _serial_trials_per_s(rounds: int) -> float:
     """True serial battery throughput: shared-RNG loop, workers=0."""
     motions, _ = _battery_spec()
@@ -281,6 +357,7 @@ def test_hotpath_benchmark():
     parallel2_tps = _parallel_trials_per_s(2, rounds)
     parallel4_tps = _parallel_trials_per_s(4, rounds)
     stream_p95 = _stream_provisional_p95_ms()
+    serve = _serve_leg()
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -309,6 +386,7 @@ def test_hotpath_benchmark():
         "parallel_speedup_workers4": round(parallel4_tps / serial_tps, 2),
         "stream_provisional_p95_ms": stream_p95["stream_provisional_p95_ms"],
         "stream_letter_p95_ms": stream_p95["stream_letter_p95_ms"],
+        **serve,
         "stage_p95_ms": stage_p95_ms,
     }
     _append_entry(entry)
@@ -355,3 +433,14 @@ def test_hotpath_benchmark():
             f"{stream_p95['stream_letter_p95_ms']:.1f} ms breaches the "
             f"150 ms streaming budget"
         )
+    # Serving acceptance: 200 concurrent real-time sessions on this
+    # 1-core container must finalize letters with p95 tail latency under
+    # the same 150 ms budget, without shedding a single chunk.
+    assert serve["serve_event_p95_ms"] < 150.0, (
+        f"serving letter-event p95 {serve['serve_event_p95_ms']:.1f} ms "
+        f"breaches the 150 ms budget at {SERVE_SESSIONS} concurrent sessions"
+    )
+    assert serve["serve_dropped_chunks"] == 0, (
+        f"the lossless 'block' policy shed {serve['serve_dropped_chunks']} "
+        f"chunk(s) during the serving leg"
+    )

@@ -27,6 +27,9 @@ for key in ("timestamp", "commit", "engine_wall_s", "scalar_wall_s",
             "serial_trials_per_s", "parallel_trials_per_s_workers2",
             "parallel_trials_per_s_workers4", "parallel_speedup_workers4",
             "stream_provisional_p95_ms", "stream_letter_p95_ms",
-            "reader_collect_p95_ms"):
+            "reader_collect_p95_ms",
+            "serve_concurrent_sessions", "serve_sessions_per_s",
+            "serve_event_p95_ms", "serve_event_p99_ms",
+            "serve_hub_event_p95_ms", "serve_dropped_chunks"):
     print(f"  {key}: {entry.get(key)}")
 EOF

@@ -173,6 +173,117 @@ else
     exit 1
 fi
 
+echo "== serve hub smoke (repro serve + feed + loadgen + scrape) =="
+# Start the serving hub on ephemeral ports, feed a recorded capture
+# through it, drive a few concurrent synthetic sessions, scrape
+# /metrics for the serve counters, then SIGINT for a graceful drain.
+hub_log=/tmp/repro-hub-smoke.$$
+capture=/tmp/repro-hub-capture.$$.jsonl
+python -m repro record "$capture" --letter T > /dev/null
+python -m repro serve --port 0 --metrics-port 0 > "$hub_log" 2>&1 &
+hub_pid=$!
+hub_port=$(python - "$hub_log" <<'PY'
+import re, sys, time
+
+deadline = time.time() + 120.0
+while time.time() < deadline:
+    try:
+        with open(sys.argv[1], encoding="utf-8") as fh:
+            m = re.search(r"serving pad sessions on [^:]+:(\d+)", fh.read())
+        if m:
+            print(m.group(1))
+            sys.exit(0)
+    except OSError:
+        pass
+    time.sleep(0.2)
+sys.exit("serve never printed its address")
+PY
+) || {
+    kill "$hub_pid" 2> /dev/null || true
+    cat "$hub_log"
+    rm -f "$hub_log" "$capture" "$capture.calibration"
+    echo "repro serve failed to start" >&2
+    exit 1
+}
+hub_fail=""
+python -m repro feed "$capture" --port "$hub_port" --no-pace \
+    > /tmp/repro-feed-smoke.$$ 2>&1 || hub_fail="repro feed failed"
+if [ -z "$hub_fail" ]; then
+    grep -q "letter: 'T'" /tmp/repro-feed-smoke.$$ \
+        || hub_fail="feed output is missing the final letter event"
+fi
+if [ -z "$hub_fail" ]; then
+    python -m repro loadgen --port "$hub_port" --sessions 3 --distinct 1 \
+        --no-pace --json > /tmp/repro-loadgen-smoke.$$ 2>&1 \
+        || hub_fail="repro loadgen failed"
+fi
+if [ -z "$hub_fail" ]; then
+    python - /tmp/repro-loadgen-smoke.$$ "$hub_log" <<'PY' || hub_fail="serve smoke assertions failed"
+import json, re, sys, urllib.request
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    result = json.loads(fh.read().splitlines()[-1])
+if result["completed"] != result["sessions"] or result["failed"]:
+    sys.exit(f"loadgen sessions failed: {result}")
+if result["letters_expected"] != result["completed"]:
+    sys.exit(f"loadgen letters wrong: {result}")
+with open(sys.argv[2], encoding="utf-8") as fh:
+    m = re.search(r"metrics on http://[^:]+:(\d+)/metrics", fh.read())
+if m is None:
+    sys.exit("serve never printed its metrics address")
+with urllib.request.urlopen(
+    f"http://127.0.0.1:{m.group(1)}/metrics", timeout=30
+) as resp:
+    body = resp.read().decode("utf-8")
+for needle in (
+    "repro_serve_sessions_opened_total",
+    "repro_serve_chunks_total",
+    "repro_serve_batches_total",
+):
+    if needle not in body:
+        sys.exit(f"/metrics scrape is missing {needle}")
+print("serve smoke: sessions, letters, and serve_* counters all present")
+PY
+fi
+kill -INT "$hub_pid" 2> /dev/null || true
+wait "$hub_pid" || [ -n "$hub_fail" ] || hub_fail="serve did not drain cleanly on SIGINT"
+if [ -z "$hub_fail" ]; then
+    grep -q "draining open sessions" "$hub_log" \
+        || hub_fail="serve log is missing the graceful-drain notice"
+fi
+if [ -n "$hub_fail" ]; then
+    cat "$hub_log" /tmp/repro-feed-smoke.$$ /tmp/repro-loadgen-smoke.$$ 2> /dev/null
+    rm -f "$hub_log" "$capture" "$capture.calibration" \
+        /tmp/repro-feed-smoke.$$ /tmp/repro-loadgen-smoke.$$
+    echo "$hub_fail" >&2
+    exit 1
+fi
+rm -f "$hub_log" "$capture" "$capture.calibration" \
+    /tmp/repro-feed-smoke.$$ /tmp/repro-loadgen-smoke.$$
+echo "ok"
+
+echo "== serving throughput gate (200 concurrent sessions, p95 < 150 ms) =="
+# Reads the entry the smoke bench appended above: the serving leg must
+# have sustained the acceptance concurrency under the latency budget.
+python - <<'PY'
+import json, sys
+
+with open("BENCH_pipeline.json", encoding="utf-8") as fh:
+    entry = json.load(fh)["entries"][-1]
+concurrent = entry.get("serve_concurrent_sessions")
+rate = entry.get("serve_sessions_per_s")
+p95 = entry.get("serve_event_p95_ms")
+if concurrent is None or rate is None or p95 is None:
+    sys.exit("bench entry is missing the serve_* keys")
+if concurrent < 200:
+    sys.exit(f"serving leg peaked at {concurrent} concurrent sessions (< 200)")
+if p95 >= 150.0:
+    sys.exit(f"serving letter-event p95 {p95} ms breaches the 150 ms budget")
+if entry.get("serve_dropped_chunks"):
+    sys.exit(f"serving leg shed {entry['serve_dropped_chunks']} chunk(s)")
+print(f"serve: {concurrent:.0f} concurrent, {rate} sessions/s, p95 {p95} ms")
+PY
+
 echo "== ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src tests

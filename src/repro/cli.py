@@ -18,6 +18,13 @@ Commands
 ``serve-metrics``      expose /metrics (Prometheus) + /healthz over HTTP
 ``top``                live terminal health view: span p95s, read rate,
                        stream gauges, and declarative health rules
+``serve``              run the multi-session serving hub: many concurrent
+                       pads over length-prefixed TCP framing, micro-batched
+                       analysis, bounded queues, graceful drain on SIGINT
+``feed``               stream a saved capture into a running ``serve`` hub
+                       and print the events it sends back
+``loadgen``            drive N synthetic concurrent writers against a hub
+                       and report throughput + tail-latency percentiles
 
 Global observability flags: ``--trace-out PATH`` records every span of the
 invoked command to a JSONL file; ``--metrics-out PATH`` samples the metric
@@ -422,6 +429,185 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 1 if worst_status(findings) == "fail" else 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-session serving hub until interrupted, then drain."""
+    import asyncio
+    import signal
+    import threading
+
+    from .obs.export import make_metrics_server
+    from .obs.health import HealthRuleError
+    from .obs.telemetry import TelemetryHub
+    from .serve import HubConfig, SessionHub
+
+    try:
+        rules = _load_cli_rules(args.rules)
+    except HealthRuleError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    get_metrics().enable()
+    get_tracer().enable()
+    runner = _make_runner(args)  # calibrates the pad every session shares
+    try:
+        config = HubConfig(
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            drop_policy=args.drop_policy,
+            batch_sessions=args.batch_sessions,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    hub = SessionHub(runner.pad, config, scenario_meta=_scenario_metadata(args))
+
+    tele = None
+    http_server = None
+    if args.metrics_port is not None:
+        tele = TelemetryHub(interval_s=args.interval)
+        tele.start()
+        http_server = make_metrics_server(
+            port=args.metrics_port, rules=rules, hub=tele
+        )
+        threading.Thread(
+            target=http_server.serve_forever, name="repro-serve-scrape",
+            daemon=True,
+        ).start()
+        mhost, mport = http_server.server_address[:2]
+        print(f"metrics on http://{mhost}:{mport}/metrics", flush=True)
+
+    async def _serve() -> None:
+        await hub.start()
+        host, port = hub.bound_address
+        print(f"serving pad sessions on {host}:{port} "
+              f"(policy {config.drop_policy}, max-pending {config.max_pending})",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        print("draining open sessions...", flush=True)
+        await hub.stop(drain=True)
+
+    loop = asyncio.new_event_loop()
+    try:
+        loop.run_until_complete(_serve())
+    finally:
+        loop.close()
+        if http_server is not None:
+            http_server.shutdown()
+            http_server.server_close()
+        if tele is not None:
+            tele.stop(final_sample=False)
+    print(f"served {hub.sessions_opened} session(s)")
+    return 0
+
+
+def _print_event_headers(headers) -> None:
+    """Render the wire form of hub events (`repro feed`'s output)."""
+    for h in headers:
+        kind = h.get("kind")
+        at = float(h.get("emitted_at", 0.0))
+        if kind == "stroke":
+            what = "stroke window" if h.get("final") else "stroke preview"
+            print(f"[{at:7.3f}s] {what} {h.get('t0'):.3f}-{h.get('t1'):.3f}s "
+                  f"-> {h.get('token') or '(no stroke)'}")
+        else:
+            tokens = tuple(h.get("tokens", ()))
+            print(f"[{at:7.3f}s] letter: {h.get('letter')!r} (tokens {tokens})")
+
+
+def cmd_feed(args: argparse.Namespace) -> int:
+    """Stream a saved capture into a running hub; print the events."""
+    import asyncio
+    import os
+
+    from .rfid.capture import load_log, load_metadata
+    from .serve.client import ServeClient
+    from .sim.live import iter_chunks
+
+    log = load_log(args.path)
+    meta = load_metadata(args.path)
+    chunks = list(iter_chunks(log, args.chunk))
+    delay = 0.0 if args.no_pace else args.chunk * args.time_scale
+    sid = args.session or os.path.basename(args.path)
+    print(f"feeding {args.path}: {len(log)} reads in {len(chunks)} chunks "
+          f"as session {sid!r}")
+
+    async def _run() -> int:
+        client = await ServeClient.connect(args.host, args.port)
+        try:
+            handle, latency = await client.run_session(
+                sid,
+                chunks,
+                meta={k: meta[k] for k in _SCENARIO_META_KEYS if k in meta},
+                pace=[delay] * len(chunks) if delay > 0.0 else None,
+                timeout=args.timeout,
+            )
+        except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+            print(f"repro: error: feed failed: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            await client.close()
+        for warning in handle.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        _print_event_headers(handle.events)
+        if handle.dropped_chunks:
+            print(f"hub shed {handle.dropped_chunks} chunk(s) "
+                  f"({handle.dropped_reads} reads)", file=sys.stderr)
+        print(f"letter: {handle.final_letter()!r} "
+              f"(tail latency {latency * 1e3:.1f} ms)")
+        return 0
+
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(_run())
+    finally:
+        loop.close()
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive N synthetic writers against a hub and report what they saw."""
+    import json
+
+    from .serve.loadgen import run_loadgen_sync, session_logs
+
+    runner = _make_runner(args)
+    logs = session_logs(runner, args.letter, min(args.distinct, args.sessions))
+    result = run_loadgen_sync(
+        args.host,
+        args.port,
+        logs,
+        sessions=args.sessions,
+        concurrency=args.concurrency,
+        chunk_s=args.chunk,
+        time_scale=args.time_scale,
+        pace=not args.no_pace,
+        ramp_s=args.ramp,
+        expected_letter=args.letter,
+        meta=_scenario_metadata(args),
+        session_timeout_s=args.timeout,
+    )
+    if args.json:
+        print(json.dumps(result.as_dict(), sort_keys=True))
+    else:
+        print(f"{result.completed}/{result.sessions} sessions completed "
+              f"({result.peak_concurrent} concurrent peak) in "
+              f"{result.wall_s:.2f} s = {result.sessions_per_s:.1f} sessions/s")
+        print(f"letter correct: {result.letters_expected}/{result.completed}; "
+              f"dropped chunks: {result.dropped_chunks}")
+        print(f"finalize-to-letter latency ms: p50 {result.event_p50_ms:.1f} "
+              f"p95 {result.event_p95_ms:.1f} p99 {result.event_p99_ms:.1f}")
+        for err in result.errors[:5]:
+            print(f"  {err}", file=sys.stderr)
+    return 0 if result.failed == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -610,6 +796,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="run the observed batteries on N worker processes",
     )
+
+    p_hub = sub.add_parser(
+        "serve",
+        help="run the multi-session serving hub: concurrent pads over "
+             "length-prefixed TCP framing with micro-batched analysis, "
+             "bounded per-session queues, and graceful drain on SIGINT",
+    )
+    p_hub.add_argument("--host", default="127.0.0.1")
+    p_hub.add_argument(
+        "--port", type=int, default=9470,
+        help="TCP port for pad sessions (0 picks a free port; the bound "
+             "address is printed at startup)",
+    )
+    p_hub.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="also expose /metrics + /healthz over HTTP on this port "
+             "(0 picks a free port)",
+    )
+    p_hub.add_argument(
+        "--workers", type=int, default=1,
+        help="analysis worker threads (default 1)",
+    )
+    p_hub.add_argument(
+        "--max-pending", type=int, default=64,
+        help="bounded ingest queue: pending chunks per session (default 64)",
+    )
+    p_hub.add_argument(
+        "--drop-policy", choices=("block", "oldest", "newest"),
+        default="block",
+        help="full-queue policy: block the connection (lossless, default) "
+             "or shed the oldest/newest chunk (counted + reported)",
+    )
+    p_hub.add_argument(
+        "--batch-sessions", type=int, default=32,
+        help="max sessions coalesced into one analysis micro-batch",
+    )
+    p_hub.add_argument(
+        "--interval", type=float, default=1.0,
+        help="telemetry sampling interval for --metrics-port (default 1.0)",
+    )
+    p_hub.add_argument(
+        "--rules", default="",
+        help="JSON health-rule file for /healthz (default: built-in rules)",
+    )
+
+    p_feed = sub.add_parser(
+        "feed",
+        help="stream a saved capture (see `record`) into a running serve "
+             "hub and print the events it sends back",
+    )
+    p_feed.add_argument("path", help="capture file written by `repro record`")
+    p_feed.add_argument("--host", default="127.0.0.1")
+    p_feed.add_argument("--port", type=int, default=9470)
+    p_feed.add_argument(
+        "--session", default="",
+        help="session id (default: the capture's file name)",
+    )
+    p_feed.add_argument(
+        "--chunk", type=float, default=0.1,
+        help="chunk length in seconds (default 0.1)",
+    )
+    p_feed.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="pace chunks at chunk*scale seconds apart (default 1.0 = "
+             "real time)",
+    )
+    p_feed.add_argument(
+        "--no-pace", action="store_true",
+        help="send chunks as fast as the hub accepts them",
+    )
+    p_feed.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="give up on the session after this many seconds",
+    )
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="drive N synthetic concurrent writers against a serve hub and "
+             "report sessions/s plus finalize-to-letter latency percentiles",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=9470)
+    p_load.add_argument(
+        "--sessions", type=int, default=50,
+        help="total writer sessions to run (default 50)",
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=None,
+        help="max simultaneous writers (default: all at once)",
+    )
+    p_load.add_argument(
+        "--letter", default="T",
+        help="letter every synthetic writer writes (default T)",
+    )
+    p_load.add_argument(
+        "--distinct", type=int, default=8,
+        help="distinct simulated session logs writers share round-robin",
+    )
+    p_load.add_argument(
+        "--chunk", type=float, default=0.1,
+        help="chunk length in seconds (default 0.1)",
+    )
+    p_load.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="pace chunks at chunk*scale seconds apart (default 1.0 = "
+             "real time)",
+    )
+    p_load.add_argument(
+        "--no-pace", action="store_true",
+        help="send chunks as fast as the hub accepts them",
+    )
+    p_load.add_argument(
+        "--ramp", type=float, default=0.0,
+        help="stagger writer starts uniformly across this many seconds "
+             "(writers are not phase-locked in real deployments)",
+    )
+    p_load.add_argument(
+        "--timeout", type=float, default=120.0,
+        help="per-session timeout in seconds (default 120)",
+    )
+    p_load.add_argument(
+        "--json", action="store_true",
+        help="print the result record as one JSON object",
+    )
     return parser
 
 
@@ -639,6 +949,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return cmd_serve_metrics(args)
     if args.command == "top":
         return cmd_top(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "feed":
+        return cmd_feed(args)
+    if args.command == "loadgen":
+        return cmd_loadgen(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -673,6 +989,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         hub.start()
     try:
         return _dispatch(args)
+    except KeyboardInterrupt:
+        # ^C is a normal way to leave `live`, `replay --stream`, `serve`,
+        # and `top`: no traceback, but the finally below still stops the
+        # telemetry sampler thread and the warmed worker pools, so the
+        # process exits cleanly instead of hanging on non-daemon threads.
+        print("interrupted", file=sys.stderr)
+        return 130
     finally:
         if hub is not None:
             hub.stop(final_sample=True)
@@ -682,6 +1005,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.trace_out:
             count = get_tracer().export_jsonl(args.trace_out)
             print(f"wrote {count} spans to {args.trace_out}", file=sys.stderr)
+        from .sim.parallel import shutdown_pools
+
+        shutdown_pools()
 
 
 if __name__ == "__main__":

@@ -15,7 +15,10 @@ Rule kinds
                       be <= ``threshold`` seconds.
 ``gauge_min`` /       the gauge ``target`` must be >= / <= ``threshold``.
 ``gauge_max``
-``counter_min``       the counter ``target`` must be >= ``threshold``.
+``counter_min`` /     the counter ``target`` must be >= / <=
+``counter_max``       ``threshold`` (``counter_max`` with threshold 0 is
+                      the "any occurrence is a finding" form — drops,
+                      aborts, crashes).
 ``histogram_p95_max`` the histogram ``target``'s p95 must be <=
                       ``threshold``.
 ``gauge_drop``        across the hub window, the latest value of gauge
@@ -26,6 +29,11 @@ Rule kinds
                       have advanced whenever counter ``watch`` advanced
                       by more than ``threshold`` — the event-latency
                       stall detector (reads flowing, no windows closing).
+``gauge_growth``      across the hub window, the latest value of gauge
+                      ``target`` must not sit more than ``threshold``
+                      above the window *minimum* — the sustained-growth
+                      detector (a serving queue that only ever deepens is
+                      a hub that cannot keep up).
 
 Rules that reference telemetry not yet recorded evaluate to ``skip``
 (not a failure): health rules describe a running system, and a cold
@@ -62,9 +70,11 @@ _KINDS = (
     "gauge_min",
     "gauge_max",
     "counter_min",
+    "counter_max",
     "histogram_p95_max",
     "gauge_drop",
     "counter_stall",
+    "gauge_growth",
 )
 _SEVERITIES = ("warn", "fail")
 
@@ -255,6 +265,18 @@ _DEFAULT_RULE_DOC: List[Dict[str, Any]] = [
      "target": "stream.windows", "watch": "stream.reads",
      "threshold": 500.0, "severity": "warn",
      "description": "reads flowing but no stroke windows closing"},
+    {"name": "serve_drops", "kind": "counter_max",
+     "target": "serve.dropped_chunks", "threshold": 0.0, "severity": "warn",
+     "description": "any shed chunk means a session lost bit-identity"},
+    {"name": "serve_queue_depth", "kind": "gauge_max",
+     "target": "serve.queue_depth", "threshold": 1024.0, "severity": "warn",
+     "description": "total pending chunks across all serving sessions"},
+    {"name": "serve_queue_growth", "kind": "gauge_growth",
+     "target": "serve.queue_depth", "threshold": 256.0, "severity": "warn",
+     "description": "sustained queue-depth growth: the hub is not keeping up"},
+    {"name": "serve_event_latency", "kind": "histogram_p95_max",
+     "target": "serve.event_latency_s", "threshold": 0.15, "severity": "warn",
+     "description": "hub-side final-event latency p95 vs the serving SLO"},
 ]
 
 
@@ -301,12 +323,16 @@ def _eval_rule(
             ok, value,
             f"gauge {rule.target!r} = {value:g} (required {op} {rule.threshold:g})",
         )
-    if rule.kind == "counter_min":
+    if rule.kind in ("counter_min", "counter_max"):
         value = metrics.counter_value(rule.target)
+        ok = value >= rule.threshold if rule.kind == "counter_min" else (
+            value <= rule.threshold
+        )
+        op = ">=" if rule.kind == "counter_min" else "<="
         return verdict(
-            value >= rule.threshold, value,
+            ok, value,
             f"counter {rule.target!r} = {value:g} "
-            f"(required >= {rule.threshold:g})",
+            f"(required {op} {rule.threshold:g})",
         )
     if rule.kind == "histogram_p95_max":
         hist = metrics.get_histogram(rule.target)
@@ -334,6 +360,20 @@ def _eval_rule(
             drop <= rule.threshold, drop,
             f"gauge {rule.target!r} dropped {drop * 100:.0f}% from window "
             f"peak {peak:g} (allowed {rule.threshold * 100:.0f}%)",
+        )
+    if rule.kind == "gauge_growth":
+        if hub is None:
+            return finding("skip", None, "no telemetry hub window available")
+        series = [v for _, v in hub.gauge_series(rule.target)]
+        if len(series) < 2:
+            return finding(
+                "skip", None, f"gauge {rule.target!r}: <2 samples in window"
+            )
+        growth = series[-1] - min(series)
+        return verdict(
+            growth <= rule.threshold, growth,
+            f"gauge {rule.target!r} grew {growth:g} above its window "
+            f"minimum {min(series):g} (allowed {rule.threshold:g})",
         )
     if rule.kind == "counter_stall":
         if hub is None:

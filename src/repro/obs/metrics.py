@@ -279,6 +279,27 @@ class MetricsRegistry:
             hist = self._histograms[name] = Histogram()
         hist.observe(value)
 
+    def remove_labeled(self, labels: Mapping[str, str]) -> int:
+        """Drop every instrument carrying **all** of ``labels``.
+
+        Long-lived processes serving many short-lived tenants (the hub's
+        per-session ``stream.*{session=...}`` gauges) would otherwise grow
+        the registry without bound; callers invoke this at tenant close.
+        Returns the number of instruments removed.  Unlike the mutators,
+        this is administrative cleanup and applies even while disabled.
+        """
+        wanted = {str(k): str(v) for k, v in labels.items()}
+        if not wanted:
+            return 0
+        removed = 0
+        for store in (self._counters, self._gauges, self._histograms):
+            for key in [k for k in store if "{" in k]:
+                _, key_labels = split_labeled(key)
+                if all(key_labels.get(k) == v for k, v in wanted.items()):
+                    del store[key]
+                    removed += 1
+        return removed
+
     # -- declaration / reading -----------------------------------------
 
     def histogram(self, name: str, buckets: Optional[Sequence[float]] = None) -> Histogram:

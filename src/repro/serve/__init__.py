@@ -1,0 +1,25 @@
+"""Serving layer: multiplex thousands of pads behind one engine.
+
+:mod:`repro.serve.framing` is the wire codec (length-prefixed frames,
+columnar chunk payloads); :mod:`repro.serve.hub` runs the asyncio
+:class:`SessionHub` with bounded ingest queues, micro-batched analysis on
+a warmed worker tier, and graceful drain; :mod:`repro.serve.client` is
+the asyncio client used by ``repro feed``; :mod:`repro.serve.loadgen`
+drives N synthetic writers for the serving benchmark.  The contract
+(ordering, backpressure, drop, bit-identity) is DESIGN.md §14.
+"""
+
+from .framing import FrameDecoder, FramingError, chunk_message, encode_frame
+from .hub import DROP_POLICIES, BackgroundHub, HubConfig, LocalFeed, SessionHub
+
+__all__ = [
+    "BackgroundHub",
+    "DROP_POLICIES",
+    "FrameDecoder",
+    "FramingError",
+    "HubConfig",
+    "LocalFeed",
+    "SessionHub",
+    "chunk_message",
+    "encode_frame",
+]

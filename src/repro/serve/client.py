@@ -1,0 +1,205 @@
+"""Asyncio client for the serving hub (used by ``repro feed``/``loadgen``).
+
+:class:`ServeClient` speaks the framing protocol of
+:mod:`repro.serve.framing` over one TCP connection and can multiplex any
+number of sessions on it.  A background reader task dispatches incoming
+frames to per-session :class:`SessionHandle` records, so senders and the
+event stream never block each other — which is what lets the hub's
+``block`` policy push back through TCP without deadlocking the client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..rfid.reports import ReportLog
+from .framing import FrameDecoder, FramingError, chunk_message, encode_frame
+
+__all__ = ["ServeClient", "SessionHandle"]
+
+
+class SessionHandle:
+    """Client-side record of one open session."""
+
+    __slots__ = (
+        "sid", "events", "event_walls", "warnings", "dropped_chunks",
+        "dropped_reads", "shutdown", "error", "_welcome", "_done",
+    )
+
+    def __init__(self, sid: str) -> None:
+        self.sid = sid
+        #: Event headers in delivery order (``kind``, ``final``, ...).
+        self.events: List[Dict[str, object]] = []
+        #: ``time.monotonic()`` at receipt of each event (latency probes).
+        self.event_walls: List[float] = []
+        self.warnings: List[str] = []
+        self.dropped_chunks = 0
+        self.dropped_reads = 0
+        self.shutdown = False
+        self.error: Optional[str] = None
+        self._welcome = asyncio.Event()
+        self._done = asyncio.Event()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def final_letter(self) -> Optional[str]:
+        """The finalized letter event's letter, if one arrived."""
+        for header in reversed(self.events):
+            if header.get("kind") == "letter" and header.get("final"):
+                return header.get("letter")  # type: ignore[return-value]
+        return None
+
+
+class ServeClient:
+    """One hub connection; open sessions, feed chunks, await events."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._sessions: Dict[str, SessionHandle] = {}
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def _read_loop(self) -> None:
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await self._reader.read(65536)
+                if not data:
+                    break
+                for header, _payload in decoder.feed(data):
+                    self._dispatch(header)
+        except (ConnectionResetError, BrokenPipeError, FramingError):
+            pass
+        finally:
+            self._closed = True
+            for handle in self._sessions.values():
+                if handle.error is None and not handle.done:
+                    handle.error = "connection closed before session finished"
+                handle._welcome.set()
+                handle._done.set()
+
+    def _dispatch(self, header: Dict[str, object]) -> None:
+        sid = header.get("session")
+        handle = self._sessions.get(str(sid)) if sid is not None else None
+        mtype = header.get("type")
+        if handle is None:
+            if mtype == "error":
+                # Connection-level protocol error: poison every session.
+                for h in self._sessions.values():
+                    h.error = str(header.get("message"))
+                    h._welcome.set()
+                    h._done.set()
+            return
+        if mtype == "welcome":
+            handle.warnings = [str(w) for w in header.get("warnings", [])]
+            handle._welcome.set()
+        elif mtype == "event":
+            handle.events.append(header)
+            handle.event_walls.append(time.monotonic())
+        elif mtype == "dropped":
+            handle.dropped_chunks += 1
+            handle.dropped_reads += int(header.get("reads", 0))
+        elif mtype == "done":
+            handle._done.set()
+        elif mtype == "shutdown":
+            handle.shutdown = True
+        elif mtype == "error":
+            handle.error = str(header.get("message"))
+            handle._welcome.set()
+            handle._done.set()
+
+    # -- protocol verbs ------------------------------------------------
+
+    async def open(
+        self, sid: str, meta: Optional[Dict[str, object]] = None
+    ) -> SessionHandle:
+        """Open a session and wait for the hub's ``welcome``."""
+        if self._closed:
+            raise ConnectionError("client connection is closed")
+        if sid in self._sessions:
+            raise ValueError(f"session {sid!r} already open on this connection")
+        handle = SessionHandle(sid)
+        self._sessions[sid] = handle
+        header: Dict[str, object] = {"type": "hello", "session": sid}
+        if meta:
+            header["meta"] = meta
+        self._writer.write(encode_frame(header))
+        await self._writer.drain()
+        await handle._welcome.wait()
+        if handle.error is not None:
+            raise ConnectionError(handle.error)
+        return handle
+
+    async def send_chunk(self, handle: SessionHandle, chunk: ReportLog) -> None:
+        """Ship one report chunk (empty chunks ride too — pacing gaps)."""
+        header, payload = chunk_message(handle.sid, chunk)
+        self._writer.write(encode_frame(header, payload))
+        await self._writer.drain()
+
+    async def finalize(self, handle: SessionHandle) -> None:
+        """Signal end of stream for one session (events keep arriving)."""
+        self._writer.write(
+            encode_frame({"type": "finalize", "session": handle.sid})
+        )
+        await self._writer.drain()
+
+    async def wait_done(
+        self, handle: SessionHandle, timeout: Optional[float] = None
+    ) -> SessionHandle:
+        """Block until the hub's ``done`` frame for this session."""
+        await asyncio.wait_for(handle._done.wait(), timeout=timeout)
+        if handle.error is not None:
+            raise ConnectionError(handle.error)
+        return handle
+
+    async def run_session(
+        self,
+        sid: str,
+        chunks: List[ReportLog],
+        meta: Optional[Dict[str, object]] = None,
+        pace: Optional[List[float]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[SessionHandle, float]:
+        """Open, feed, finalize, await done; returns (handle, letter_latency_s).
+
+        ``pace`` gives per-chunk inter-send delays in seconds (same length
+        as ``chunks``); ``None`` sends as fast as the hub accepts.  The
+        returned latency is finalize-send to final-letter receipt — the
+        tail latency a writer perceives after lifting the pen.
+        """
+        handle = await self.open(sid, meta=meta)
+        for i, chunk in enumerate(chunks):
+            if pace is not None and pace[i] > 0.0:
+                await asyncio.sleep(pace[i])
+            await self.send_chunk(handle, chunk)
+        finalize_wall = time.monotonic()
+        await self.finalize(handle)
+        await self.wait_done(handle, timeout=timeout)
+        letter_wall = None
+        for header, wall in zip(handle.events, handle.event_walls):
+            if header.get("kind") == "letter" and header.get("final"):
+                letter_wall = wall
+        latency = (letter_wall - finalize_wall) if letter_wall is not None else 0.0
+        return handle, max(0.0, latency)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._writer.close()
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):  # pragma: no cover
+            pass

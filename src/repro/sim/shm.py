@@ -38,6 +38,21 @@ except ImportError:  # pragma: no cover
 _N_COLS = 5
 
 
+def epc_map_of(tag: np.ndarray, epc: np.ndarray) -> Dict[int, str]:
+    """First-seen ``tag_index -> epc`` map for a column pair.
+
+    EPCs are a static property of the deployment, so this small dict is
+    all any transport needs to regenerate the per-row EPC string column
+    exactly.  Shared by the shared-memory transport below and the socket
+    framing codec (:mod:`repro.serve.framing`).
+    """
+    out: Dict[int, str] = {}
+    for t, e in zip(tag.tolist(), epc.tolist()):
+        if t not in out:
+            out[t] = e
+    return out
+
+
 def pack_logs(logs: Sequence[Optional[ReportLog]]) -> Tuple[str, object]:
     """Pack a chunk's logs for transport; returns ``(kind, payload)``.
 
@@ -56,10 +71,7 @@ def pack_logs(logs: Sequence[Optional[ReportLog]]) -> Tuple[str, object]:
             columns.append(None)
             continue
         ts, tag, phase, rss, dopp, port, epc = log.columns()
-        epc_map: Dict[int, str] = {}
-        for t, e in zip(tag.tolist(), epc.tolist()):
-            if t not in epc_map:
-                epc_map[t] = e
+        epc_map = epc_map_of(tag, epc)
         metas.append(
             {
                 "rows": int(ts.size),

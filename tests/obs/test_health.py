@@ -161,6 +161,16 @@ class TestEvaluation:
             metrics=metrics,
         ).status == "warn"
 
+    def test_counter_max(self):
+        metrics = MetricsRegistry(enabled=True)
+        rule = _rule(kind="counter_max", target="drops", threshold=0.0)
+        # A missing counter reads zero, which satisfies the ceiling.
+        assert _eval_one(rule, metrics=metrics).status == "ok"
+        metrics.inc("drops")
+        assert _eval_one(rule, metrics=metrics).status == "warn"
+        loose = _rule(kind="counter_max", target="drops", threshold=5.0)
+        assert _eval_one(loose, metrics=metrics).status == "ok"
+
     def test_histogram_p95(self):
         metrics = MetricsRegistry(enabled=True)
         for _ in range(20):
@@ -202,6 +212,28 @@ class TestEvaluation:
             (1.0, {"reads": 100.0, "windows": 0.0}, {}),
         ])
         assert _eval_one(rule, hub=quiet).status == "ok"
+
+    def test_gauge_growth_detector(self):
+        rule = _rule(kind="gauge_growth", target="depth", threshold=100.0)
+        steady = _hub_with_samples([
+            (0.0, {}, {"depth": 10.0}),
+            (1.0, {}, {"depth": 40.0}),
+            (2.0, {}, {"depth": 12.0}),
+        ])
+        assert _eval_one(rule, hub=steady).status == "ok"
+        growing = _hub_with_samples([
+            (0.0, {}, {"depth": 10.0}),
+            (1.0, {}, {"depth": 80.0}),
+            (2.0, {}, {"depth": 150.0}),  # +140 over window min
+        ])
+        finding = _eval_one(rule, hub=growing)
+        assert finding.status == "warn"
+        assert finding.value == pytest.approx(140.0)
+        # Without a telemetry window (or with one sample) there is no
+        # trend to judge.
+        assert _eval_one(rule, hub=None).status == "skip"
+        single = _hub_with_samples([(0.0, {}, {"depth": 9e9})])
+        assert _eval_one(rule, hub=single).status == "skip"
 
     def test_warn_findings_are_logged(self, caplog):
         metrics = MetricsRegistry(enabled=True)

@@ -53,6 +53,43 @@ class TestCountersAndGauges:
         assert "histogram  h" in text
 
 
+class TestRemoveLabeled:
+    def _populated(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("serve.chunks")
+        reg.inc("serve.chunks", labels={"session": "a"})
+        reg.inc("serve.chunks", labels={"session": "b"})
+        reg.set_gauge("stream.lag_s", 0.1, labels={"session": "a"})
+        reg.observe("lat", 0.5, labels={"session": "a", "kind": "x"})
+        return reg
+
+    def test_removes_every_instrument_with_matching_labels(self):
+        reg = self._populated()
+        assert reg.remove_labeled({"session": "a"}) == 3
+        snap = reg.snapshot()
+        labeled = [
+            k
+            for kind in snap.values()
+            for k in kind
+            if 'session="a"' in k
+        ]
+        assert labeled == []
+        # Other tenants and the unlabeled aggregates are untouched.
+        assert reg.counter_value("serve.chunks") == 1.0
+        assert reg.counter_value('serve.chunks{session="b"}') == 1.0
+
+    def test_subset_match_semantics(self):
+        reg = self._populated()
+        # {"kind": "x"} matches the histogram even though it also
+        # carries a session label.
+        assert reg.remove_labeled({"kind": "x"}) == 1
+        assert reg.remove_labeled({"kind": "x"}) == 0
+
+    def test_no_match_returns_zero(self):
+        reg = self._populated()
+        assert reg.remove_labeled({"session": "nope"}) == 0
+
+
 class TestHistogram:
     def test_rejects_unsorted_buckets(self):
         with pytest.raises(ValueError):

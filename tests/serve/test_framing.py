@@ -1,0 +1,153 @@
+"""Framing codec property tests.
+
+The decoder's contract: for ANY fragmentation or coalescing of the byte
+stream — one byte at a time, random splits, everything in one buffer —
+every frame comes out exactly once, in order, bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.motion.script import script_for_letter
+from repro.rfid.reports import ReportLog
+from repro.serve.framing import (
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    FramingError,
+    chunk_log,
+    chunk_message,
+    decode_chunk,
+    encode_frame,
+    session_of,
+)
+from repro.sim.live import iter_chunks
+
+
+def _messages(shared_runner):
+    """A realistic message sequence: hello + a session's chunks + finalize."""
+    log = shared_runner.run_script(script_for_letter("T", shared_runner.rng))
+    out = [({"type": "hello", "session": "s1", "meta": {"seed": 7}}, b"")]
+    for chunk in iter_chunks(log, 0.13):
+        out.append(chunk_message("s1", chunk))
+    out.append(({"type": "finalize", "session": "s1"}, b""))
+    return out
+
+
+def _feed_fragments(stream: bytes, edges) -> list:
+    decoder = FrameDecoder()
+    got = []
+    for a, b in zip(edges[:-1], edges[1:]):
+        got.extend(decoder.feed(stream[a:b]))
+    assert decoder.pending_bytes == 0
+    return got
+
+
+def assert_messages_equal(got, sent):
+    assert len(got) == len(sent)
+    for (gh, gp), (sh, sp) in zip(got, sent):
+        assert gh == sh
+        assert gp == sp
+
+
+class TestRoundTrip:
+    def test_whole_stream_at_once(self, shared_runner):
+        sent = _messages(shared_runner)
+        stream = b"".join(encode_frame(h, p) for h, p in sent)
+        got = FrameDecoder().feed(stream)
+        assert_messages_equal(got, sent)
+
+    def test_byte_at_a_time(self, shared_runner):
+        sent = _messages(shared_runner)[:4]  # keep the single-byte walk cheap
+        stream = b"".join(encode_frame(h, p) for h, p in sent)
+        got = _feed_fragments(stream, list(range(len(stream) + 1)))
+        assert_messages_equal(got, sent)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_random_fragmentation(self, shared_runner, rng, trial):
+        sent = _messages(shared_runner)
+        stream = b"".join(encode_frame(h, p) for h, p in sent)
+        n_cuts = int(rng.integers(1, 64))
+        cuts = sorted(int(c) for c in rng.integers(0, len(stream), n_cuts))
+        got = _feed_fragments(stream, [0, *cuts, len(stream)])
+        assert_messages_equal(got, sent)
+
+    def test_fragments_spanning_frame_boundaries(self, shared_runner):
+        sent = _messages(shared_runner)
+        frames = [encode_frame(h, p) for h, p in sent]
+        stream = b"".join(frames)
+        # Cut exactly at, one before, and one after every frame boundary.
+        edges = {0, len(stream)}
+        offset = 0
+        for frame in frames:
+            offset += len(frame)
+            edges.update((offset - 1, offset, min(offset + 1, len(stream))))
+        got = _feed_fragments(stream, sorted(edges))
+        assert_messages_equal(got, sent)
+
+    def test_chunk_payload_is_bit_identical(self, shared_runner):
+        log = shared_runner.run_script(
+            script_for_letter("H", shared_runner.rng)
+        )
+        for chunk in iter_chunks(log, 0.2):
+            header, payload = chunk_message("s", chunk)
+            rebuilt = chunk_log(header, payload)
+            a = chunk.columns()
+            b = rebuilt.columns()
+            for col_a, col_b in zip(a[:5], b[:5]):
+                assert np.array_equal(col_a, col_b)  # bit-exact float64
+            assert list(a[6]) == list(b[6])  # epc column
+            assert session_of(header) == "s"
+
+    def test_empty_chunk_round_trips(self):
+        header, payload = chunk_message("s", ReportLog())
+        assert payload == b""
+        ts, tag, phase, rss, dopp, epcs, port = decode_chunk(header, payload)
+        assert ts.size == 0 and epcs == [] and port == 1
+
+
+class TestErrors:
+    def test_oversized_frame_rejected_on_encode(self):
+        with pytest.raises(FramingError):
+            encode_frame({"type": "chunk"}, b"\0" * (MAX_FRAME_BYTES + 1))
+
+    def test_bad_length_prefix(self):
+        with pytest.raises(FramingError):
+            FrameDecoder().feed(b"\xff\xff\xff\xff rest")
+
+    def test_header_overruns_body(self):
+        body = b"\x00\x00\x00\xff{}"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FramingError):
+            FrameDecoder().feed(frame)
+
+    def test_header_not_json(self):
+        body = b"\x00\x00\x00\x02!!"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FramingError):
+            FrameDecoder().feed(frame)
+
+    def test_header_without_type(self):
+        body = b"\x00\x00\x00\x02{}"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FramingError):
+            FrameDecoder().feed(frame)
+
+    def test_chunk_payload_size_mismatch(self, shared_runner):
+        log = shared_runner.run_script(
+            script_for_letter("L", shared_runner.rng)
+        )
+        chunk = next(iter_chunks(log, 1.0))
+        header, payload = chunk_message("s", chunk)
+        with pytest.raises(FramingError):
+            decode_chunk(header, payload[:-8])
+
+    def test_chunk_missing_epc_mapping(self, shared_runner):
+        log = shared_runner.run_script(
+            script_for_letter("L", shared_runner.rng)
+        )
+        chunk = next(iter_chunks(log, 1.0))
+        header, payload = chunk_message("s", chunk)
+        header = dict(header)
+        header["epcs"] = {}
+        with pytest.raises(FramingError):
+            decode_chunk(header, payload)

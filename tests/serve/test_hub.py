@@ -1,0 +1,291 @@
+"""SessionHub behaviour: multiplexing, queue policies, drain, metrics.
+
+Socket tests drive the hub through the real asyncio server + framing
+codec; policy tests use the in-process :class:`LocalFeed` with the
+``analysis_stall_s`` fault knob to force queue growth deterministically.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.motion.script import script_for_letter
+from repro.obs.metrics import MetricsRegistry, scoped_metrics
+from repro.serve import HubConfig, LocalFeed, SessionHub
+from repro.serve.client import ServeClient
+from repro.sim.live import iter_chunks
+
+
+def run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+@pytest.fixture(scope="module")
+def letter_log(shared_runner):
+    return shared_runner.run_script(
+        script_for_letter("T", shared_runner.rng)
+    )
+
+
+class TestConfig:
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            HubConfig(drop_policy="vibes")
+
+    @pytest.mark.parametrize(
+        "field", ["max_pending", "batch_sessions", "workers"]
+    )
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            HubConfig(**{field: 0})
+
+
+class TestSocketEndToEnd:
+    def test_multiple_sessions_on_one_connection(
+        self, shared_runner, letter_log
+    ):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start()
+            host, port = hub.bound_address
+            client = await ServeClient.connect(host, port)
+            try:
+                handles = [await client.open(f"s{i}") for i in range(3)]
+                chunks = list(iter_chunks(letter_log, 0.25))
+                # Interleave: every session gets chunk k before any gets k+1.
+                for chunk in chunks:
+                    for h in handles:
+                        await client.send_chunk(h, chunk)
+                for h in handles:
+                    await client.finalize(h)
+                for h in handles:
+                    await client.wait_done(h, timeout=60.0)
+            finally:
+                await client.close()
+                await hub.stop()
+            return handles
+
+        handles = run(main())
+        for h in handles:
+            assert h.final_letter() == "T"
+            assert h.dropped_chunks == 0
+            kinds = [e.get("kind") for e in h.events if e.get("final")]
+            assert kinds.count("stroke") == 2 and kinds[-1] == "letter"
+
+    def test_duplicate_session_id_is_an_error(self, shared_runner):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start()
+            host, port = hub.bound_address
+            client = await ServeClient.connect(host, port)
+            try:
+                await client.open("dup")
+                with pytest.raises(ConnectionError):
+                    c2 = await ServeClient.connect(host, port)
+                    try:
+                        await c2.open("dup")
+                    finally:
+                        await c2.close()
+            finally:
+                await client.close()
+                await hub.stop()
+
+        run(main())
+
+    def test_scenario_mismatch_warns_in_welcome(self, shared_runner):
+        async def main():
+            hub = SessionHub(
+                shared_runner.pad,
+                HubConfig(port=0),
+                scenario_meta={"seed": 7, "mount": "nlos"},
+            )
+            await hub.start()
+            host, port = hub.bound_address
+            client = await ServeClient.connect(host, port)
+            try:
+                handle = await client.open(
+                    "s", meta={"seed": 11, "mount": "nlos"}
+                )
+                return handle.warnings
+            finally:
+                await client.close()
+                await hub.stop()
+
+        warnings = run(main())
+        assert len(warnings) == 1 and "seed" in warnings[0]
+
+    def test_vanished_connection_aborts_session(
+        self, shared_runner, letter_log
+    ):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start()
+            host, port = hub.bound_address
+            client = await ServeClient.connect(host, port)
+            handle = await client.open("ghost")
+            await client.send_chunk(handle, next(iter_chunks(letter_log, 0.5)))
+            await client.close()  # walk away mid-session
+            for _ in range(200):
+                if hub.open_sessions == 0:
+                    break
+                await asyncio.sleep(0.01)
+            opened, open_now = hub.sessions_opened, hub.open_sessions
+            await hub.stop()
+            return opened, open_now
+
+        opened, open_now = run(main())
+        assert opened == 1 and open_now == 0
+
+
+class TestQueuePolicies:
+    def _stalled_hub(self, pad, policy):
+        return SessionHub(
+            pad,
+            HubConfig(
+                port=0,
+                max_pending=4,
+                drop_policy=policy,
+                analysis_stall_s=0.05,
+            ),
+        )
+
+    def test_oldest_policy_sheds_and_counts(self, shared_runner, letter_log):
+        async def main():
+            hub = self._stalled_hub(shared_runner.pad, "oldest")
+            await hub.start(serve_network=False)
+            feed = LocalFeed(hub, "s")
+            accepted = 0
+            for chunk in iter_chunks(letter_log, 0.1):
+                accepted += await feed.feed(chunk)
+            await feed.finalize()
+            dropped = feed.session.dropped_chunks
+            await hub.stop()
+            return accepted, dropped
+
+        with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+            accepted, dropped = run(main())
+            assert dropped > 0
+            # "oldest" accepts the incoming chunk (it sheds a queued one).
+            assert accepted > 0
+            agg = metrics.counter_value("serve.dropped_chunks")
+            labeled = metrics.counter_value(
+                'serve.dropped_chunks{policy="oldest"}'
+            )
+            assert agg == labeled == dropped
+
+    def test_newest_policy_rejects_incoming(self, shared_runner, letter_log):
+        async def main():
+            hub = self._stalled_hub(shared_runner.pad, "newest")
+            await hub.start(serve_network=False)
+            feed = LocalFeed(hub, "s")
+            rejected = 0
+            for chunk in iter_chunks(letter_log, 0.1):
+                rejected += not await feed.feed(chunk)
+            await feed.finalize()
+            dropped = feed.session.dropped_chunks
+            await hub.stop()
+            return rejected, dropped
+
+        with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+            rejected, dropped = run(main())
+            assert rejected > 0 and rejected == dropped
+            assert metrics.counter_value(
+                'serve.dropped_chunks{policy="newest"}'
+            ) == dropped
+
+    def test_block_policy_is_lossless_and_bounded(
+        self, shared_runner, letter_log
+    ):
+        async def main():
+            hub = self._stalled_hub(shared_runner.pad, "block")
+            await hub.start(serve_network=False)
+            feed = LocalFeed(hub, "s")
+            max_depth = 0
+            for chunk in iter_chunks(letter_log, 0.1):
+                assert await feed.feed(chunk)  # block never sheds
+                max_depth = max(max_depth, hub.queue_depth)
+            events = await feed.finalize()
+            dropped = feed.session.dropped_chunks
+            await hub.stop()
+            return max_depth, dropped, events
+
+        with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+            max_depth, dropped, events = run(main())
+            assert dropped == 0
+            # The queue is bounded: in_flight work + max_pending pending.
+            assert max_depth <= 4 + 4
+            assert metrics.counter_value("serve.backpressure_waits") > 0
+            letter = [e for e in events if e.final][-1]
+            assert letter.result.letter == "T"
+
+
+class TestDrain:
+    def test_stop_finalizes_open_sessions(self, shared_runner, letter_log):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start(serve_network=False)
+            feed = LocalFeed(hub, "s")
+            for chunk in iter_chunks(letter_log, 0.25):
+                await feed.feed(chunk)
+            # No client finalize: the drain must flush the session itself.
+            await hub.stop(drain=True)
+            return feed.events, hub.open_sessions
+
+        events, open_sessions = run(main())
+        assert open_sessions == 0
+        finals = [e for e in events if e.final]
+        assert finals and finals[-1].result.letter == "T"
+
+    def test_draining_hub_refuses_new_sessions(self, shared_runner):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start(serve_network=False)
+            hub._stopping = True
+            with pytest.raises(RuntimeError):
+                LocalFeed(hub, "late")
+            hub._stopping = False
+            await hub.stop(drain=False)
+
+        run(main())
+
+
+class TestMetricsHygiene:
+    def test_session_labels_cleaned_up_at_close(
+        self, shared_runner, letter_log
+    ):
+        async def main():
+            hub = SessionHub(shared_runner.pad, HubConfig(port=0))
+            await hub.start(serve_network=False)
+            feed = LocalFeed(hub, "tenant-1")
+            for chunk in iter_chunks(letter_log, 0.5):
+                await feed.feed(chunk)
+            # The worker thread sets the labeled gauges asynchronously.
+            mid = []
+            for _ in range(500):
+                mid = [
+                    k
+                    for k in scoped.snapshot()["gauges"]
+                    if 'session="tenant-1"' in k
+                ]
+                if mid:
+                    break
+                await asyncio.sleep(0.01)
+            await feed.finalize()
+            await hub.stop()
+            return mid
+
+        with scoped_metrics(MetricsRegistry(enabled=True)) as scoped:
+            mid = run(main())
+            # Labeled gauges existed while the session was live...
+            assert mid
+            # ...and are gone once it closed.
+            after = [
+                k
+                for k in scoped.snapshot()["gauges"]
+                if 'session="tenant-1"' in k
+            ]
+            assert after == []

@@ -1,0 +1,91 @@
+"""Soak test: hundreds of sessions through one hub, bounded memory.
+
+Marked ``slow``: it pushes ~300 sessions through a single in-process hub
+and checks that nothing accumulates — the session table drains, the
+metrics registry stays bounded (labeled per-session instruments are
+removed at close), and RSS growth stays within a modest envelope.
+"""
+
+import asyncio
+import gc
+import resource
+
+import pytest
+
+from repro.motion.script import script_for_letter
+from repro.obs.metrics import MetricsRegistry, scoped_metrics
+from repro.serve import HubConfig, LocalFeed, SessionHub
+from repro.sim.live import iter_chunks
+
+SESSIONS = 300
+WAVES = 20  # concurrent sessions per wave
+
+
+def _rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@pytest.mark.slow
+def test_soak_many_sessions_bounded_memory(shared_runner):
+    log = shared_runner.run_script(script_for_letter("T", shared_runner.rng))
+    chunks = list(iter_chunks(log, 0.25))
+    pad = shared_runner.pad
+
+    async def one_session(hub, sid):
+        feed = LocalFeed(hub, sid)
+        for chunk in chunks:
+            await feed.feed(chunk)
+        events = await feed.finalize()
+        finals = [e for e in events if e.final]
+        assert finals and finals[-1].result.letter == "T"
+
+    async def main():
+        hub = SessionHub(
+            pad, HubConfig(port=0, batch_sessions=WAVES, max_pending=16)
+        )
+        await hub.start(serve_network=False)
+        done = 0
+        while done < SESSIONS:
+            n = min(WAVES, SESSIONS - done)
+            await asyncio.gather(
+                *(one_session(hub, f"soak-{done + i}") for i in range(n))
+            )
+            done += n
+        opened, open_now = hub.sessions_opened, hub.open_sessions
+        await hub.stop()
+        return opened, open_now
+
+    with scoped_metrics(MetricsRegistry(enabled=True)) as metrics:
+        gc.collect()
+        rss_before = _rss_mb()
+        opened, open_now = run_soak(main)
+        rss_after = _rss_mb()
+
+        assert opened == SESSIONS
+        assert open_now == 0
+        snap = metrics.snapshot()
+        # Per-session labeled instruments must not accumulate: every
+        # session's labels are removed at close, so the registry holds
+        # only the aggregate serve/stream families.
+        leaked = [
+            k
+            for kind in ("counters", "gauges", "histograms")
+            for k in snap[kind]
+            if "session=" in k
+        ]
+        assert leaked == []
+        assert metrics.counter_value("serve.sessions_closed") == SESSIONS
+        assert metrics.counter_value("serve.dropped_chunks") == 0
+        # ru_maxrss is a high-water mark; 300 tiny sessions should not
+        # move it by more than a modest envelope.
+        assert rss_after - rss_before < 200.0, (
+            f"RSS grew {rss_after - rss_before:.0f} MiB over {SESSIONS} sessions"
+        )
+
+
+def run_soak(main):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(main())
+    finally:
+        loop.close()

@@ -187,3 +187,45 @@ def test_metrics_out_writes_jsonl_series(tmp_path, capsys, clean_observability):
     final = json.loads(lines[-1])
     assert {"t", "counters", "gauges", "histograms", "spans"} <= set(final)
     assert final["counters"].get("reader.reads", 0.0) > 0
+
+
+def test_parser_serve_defaults():
+    args = build_parser().parse_args(["serve"])
+    assert args.port == 9470
+    assert args.metrics_port is None
+    assert args.workers == 1
+    assert args.max_pending == 64
+    assert args.drop_policy == "block"
+    assert args.batch_sessions == 32
+
+
+def test_parser_serve_rejects_bad_policy():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["serve", "--drop-policy", "vibes"])
+
+
+def test_parser_feed_and_loadgen_defaults(tmp_path):
+    feed = build_parser().parse_args(["feed", str(tmp_path / "cap")])
+    assert feed.chunk == pytest.approx(0.1)
+    assert feed.no_pace is False
+    load = build_parser().parse_args(["loadgen", "--sessions", "7"])
+    assert load.sessions == 7
+    assert load.letter == "T"
+    assert load.distinct == 8
+    assert load.ramp == pytest.approx(0.0)
+    assert load.json is False
+
+
+def test_keyboard_interrupt_exits_130_and_stops_pools(monkeypatch, capsys):
+    from repro.sim import parallel
+
+    calls = []
+    monkeypatch.setattr(parallel, "shutdown_pools", lambda: calls.append(1))
+
+    def boom(args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr("repro.cli.cmd_experiments", boom)
+    assert main(["experiments"]) == 130
+    assert "interrupted" in capsys.readouterr().err
+    assert calls == [1]
