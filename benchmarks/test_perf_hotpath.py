@@ -263,6 +263,68 @@ def _serve_leg() -> Dict[str, "float | None"]:
     }
 
 
+def _multipad_leg() -> Dict[str, "float | None"]:
+    """Multipad throughput + workspace stitch quality.
+
+    Throughput: simultaneous writers on two multiplexed pads (the
+    ``ext_multipad`` shape) on the vectorized engine path, in trials/s.
+    Stitch quality: a 2x1 workspace runs one boundary-crossing letter
+    and reports fig25's Kinect trajectory-error metric on the stitched
+    workspace-frame trajectory, in cm — the seam cost, recorded next to
+    the throughput it buys.
+    """
+    import numpy as np
+
+    from repro.motion.script import script_for_letter, script_for_motion
+    from repro.motion.strokes import Motion, StrokeKind
+    from repro.rfid.multiplex import MultiplexedReader, ReaderPort
+    from repro.rfid.reader import ReaderConfig
+    from repro.sim.runner import WorkspaceRunner
+    from repro.sim.workspace import WorkspaceConfig, build_workspace
+
+    scen_a = build_scenario(ScenarioConfig(seed=11, mount="nlos", location=2))
+    scen_b = build_scenario(ScenarioConfig(seed=12, mount="nlos", location=2))
+    mux = MultiplexedReader(
+        [
+            ReaderPort(scen_a.antenna, scen_a.array, scen_a.environment),
+            ReaderPort(scen_b.antenna, scen_b.array, scen_b.environment),
+        ],
+        ReaderConfig(),
+        dwell_s=0.1,
+        rngs=[np.random.default_rng(11), np.random.default_rng(12)],
+    )
+    assert mux.vectorized, "multipad leg must run the engine path"
+    motions = [Motion(StrokeKind.HBAR), Motion(StrokeKind.VBAR)]
+    if not SMOKE:
+        motions += [Motion(StrokeKind.SLASH), Motion(StrokeKind.BACKSLASH)]
+    script_rng = np.random.default_rng(11)
+    trials = 0
+    t0 = time.perf_counter()
+    for motion_a in motions:
+        for motion_b in motions:
+            script_a = script_for_motion(motion_a, script_rng)
+            script_b = script_for_motion(motion_b, script_rng)
+            mux.collect(
+                max(script_a.duration, script_b.duration),
+                [script_a.hand_pose_at, script_b.hand_pose_at],
+            )
+            trials += 2
+    wall = time.perf_counter() - t0
+
+    ws_runner = WorkspaceRunner(
+        build_workspace(WorkspaceConfig(base=ScenarioConfig(seed=7), tiles_x=2))
+    )
+    script = script_for_letter("L", ws_runner.rng)
+    log = ws_runner.run_script(script)
+    letter = ws_runner.pad.recognize_letter(log).letter
+    err = ws_runner.stitched_trajectory_error(log, script)
+    return {
+        "multipad_trials_per_s": round(trials / wall, 2),
+        "multipad_boundary_letter_ok": letter == "L",
+        "stitch_trajectory_err_cm": round(err * 100, 3) if err is not None else None,
+    }
+
+
 def _serial_trials_per_s(rounds: int) -> float:
     """True serial battery throughput: shared-RNG loop, workers=0."""
     motions, _ = _battery_spec()
@@ -358,6 +420,7 @@ def test_hotpath_benchmark():
     parallel4_tps = _parallel_trials_per_s(4, rounds)
     stream_p95 = _stream_provisional_p95_ms()
     serve = _serve_leg()
+    multipad = _multipad_leg()
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -387,6 +450,7 @@ def test_hotpath_benchmark():
         "stream_provisional_p95_ms": stream_p95["stream_provisional_p95_ms"],
         "stream_letter_p95_ms": stream_p95["stream_letter_p95_ms"],
         **serve,
+        **multipad,
         "stage_p95_ms": stage_p95_ms,
     }
     _append_entry(entry)
@@ -443,4 +507,18 @@ def test_hotpath_benchmark():
     assert serve["serve_dropped_chunks"] == 0, (
         f"the lossless 'block' policy shed {serve['serve_dropped_chunks']} "
         f"chunk(s) during the serving leg"
+    )
+    # Workspace acceptance: the 2x1 tiled run must recognize its
+    # boundary-crossing letter and keep the stitched trajectory within a
+    # tag pitch (+ slack) of ground truth — the seam must not cost more
+    # than the solo tracker's own error budget.
+    assert multipad["multipad_boundary_letter_ok"], (
+        "2x1 workspace failed to recognize the boundary-crossing letter"
+    )
+    assert multipad["stitch_trajectory_err_cm"] is not None, (
+        "2x1 workspace produced no stitched trajectory"
+    )
+    assert multipad["stitch_trajectory_err_cm"] < 8.0, (
+        f"stitched trajectory error {multipad['stitch_trajectory_err_cm']} cm "
+        f"breaches the 8 cm (~tag pitch + slack) budget"
     )

@@ -284,6 +284,58 @@ if entry.get("serve_dropped_chunks"):
 print(f"serve: {concurrent:.0f} concurrent, {rate} sessions/s, p95 {p95} ms")
 PY
 
+echo "== workspace smoke (repro live --workspace 2x1, stitched letter) =="
+# A tiled 2x1 workspace session end to end: per-tile streams, cross-pad
+# stitching, and the fig25 trajectory-error score on the merged log.
+python -m repro live --workspace 2x1 --letter L > /tmp/repro-ws-smoke.$$ 2>&1 || {
+    cat /tmp/repro-ws-smoke.$$
+    rm -f /tmp/repro-ws-smoke.$$
+    echo "repro live --workspace failed" >&2
+    exit 1
+}
+for needle in "from 2 tiles" "letter: 'L'" "stitched" "trajectory error"; do
+    if ! grep -q "$needle" /tmp/repro-ws-smoke.$$; then
+        cat /tmp/repro-ws-smoke.$$
+        rm -f /tmp/repro-ws-smoke.$$
+        echo "workspace smoke output is missing $needle" >&2
+        exit 1
+    fi
+done
+rm -f /tmp/repro-ws-smoke.$$
+echo "ok"
+
+echo "== multipad gate (throughput + stitch error, vs recorded history) =="
+# Reads the entry the smoke bench appended: the multiplexed-pad leg must
+# keep its throughput within 2x of the best recorded same-size entry and
+# hold the stitched trajectory inside the 8 cm budget.
+python - <<'PY'
+import json, sys
+
+with open("BENCH_pipeline.json", encoding="utf-8") as fh:
+    doc = json.load(fh)
+entry = doc["entries"][-1]
+tps = entry.get("multipad_trials_per_s")
+err = entry.get("stitch_trajectory_err_cm")
+if tps is None or err is None:
+    sys.exit("bench entry is missing the multipad_* / stitch_* keys")
+if not entry.get("multipad_boundary_letter_ok"):
+    sys.exit("2x1 workspace failed its boundary-crossing letter")
+if err >= 8.0:
+    sys.exit(f"stitched trajectory error {err} cm breaches the 8 cm budget")
+prior = [
+    e["multipad_trials_per_s"]
+    for e in doc["entries"][:-1]
+    if e.get("smoke") == entry.get("smoke")
+    and e.get("multipad_trials_per_s")
+]
+if prior and tps < max(prior) / 2.0:
+    sys.exit(
+        f"multipad throughput {tps} trials/s regressed more than 2x "
+        f"below the best recorded entry ({max(prior)})"
+    )
+print(f"multipad: {tps} trials/s, stitch error {err} cm")
+PY
+
 echo "== ruff =="
 if command -v ruff > /dev/null 2>&1; then
     ruff check src tests

@@ -49,6 +49,43 @@ from .sim.runner import SessionRunner
 from .sim.scenario import ScenarioConfig, build_scenario
 
 
+def _parse_workspace(value: str) -> "tuple[int, int]":
+    """Parse a ``--workspace`` tile grid like ``2x1`` into (tiles_x, tiles_y)."""
+    try:
+        tx, ty = (int(part) for part in value.lower().split("x"))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"workspace must look like '2x1' (tiles_x x tiles_y), got {value!r}"
+        )
+    if tx < 1 or ty < 1:
+        raise argparse.ArgumentTypeError("workspace needs at least 1x1 tiles")
+    return tx, ty
+
+
+def _workspace_tiles(args: argparse.Namespace) -> "tuple[int, int]":
+    return getattr(args, "workspace", None) or (1, 1)
+
+
+def _make_workspace_runner(args: argparse.Namespace):
+    """A WorkspaceRunner for the CLI's tiled modes (``--workspace``)."""
+    from .sim.runner import WorkspaceRunner
+    from .sim.workspace import WorkspaceConfig, build_workspace
+
+    tiles_x, tiles_y = _workspace_tiles(args)
+    config = WorkspaceConfig(
+        base=ScenarioConfig(
+            seed=args.seed,
+            mount=args.mount,
+            location=args.location,
+            tx_power_dbm=args.power,
+        ),
+        tiles_x=tiles_x,
+        tiles_y=tiles_y,
+        dwell_s=getattr(args, "dwell", 0.05),
+    )
+    return WorkspaceRunner(build_workspace(config))
+
+
 def _make_runner(args: argparse.Namespace) -> SessionRunner:
     return SessionRunner(
         build_scenario(
@@ -205,6 +242,9 @@ def cmd_live(args: argparse.Namespace) -> int:
     from .sim.live import stream_log
     from .stream import StreamingSession
 
+    tiles_x, tiles_y = _workspace_tiles(args)
+    if tiles_x * tiles_y > 1:
+        return _cmd_live_workspace(args, tiles_x * tiles_y)
     runner = _make_runner(args)
     if args.letter:
         script = script_for_letter(args.letter, runner.rng)
@@ -222,6 +262,45 @@ def cmd_live(args: argparse.Namespace) -> int:
     for ev in stream_log(runner.pad, log, args.chunk, session=session):
         _print_stream_events([ev])
     print(f"retained {session.buffered_reads} of {len(log)} reads at finish")
+    return 0
+
+
+def _cmd_live_workspace(args: argparse.Namespace, tile_count: int) -> int:
+    """Tiled live mode: per-tile chunk streams through a WorkspaceSession."""
+    from .sim.live import iter_chunks
+    from .stream import WorkspaceSession
+
+    runner = _make_workspace_runner(args)
+    if args.letter:
+        script = script_for_letter(args.letter, runner.rng)
+        truth = args.letter
+    else:
+        kind = StrokeKind[args.stroke.upper()]
+        script = script_for_motion(Motion(kind), runner.rng)
+        truth = kind.name
+    tile_logs = runner.workspace.collect_tiles(script.duration, script)
+    total = sum(len(lg) for lg in tile_logs)
+    per_tile = ", ".join(str(len(lg)) for lg in tile_logs)
+    print(f"streaming {total} reads from {tile_count} tiles ({per_tile}) "
+          f"in {args.chunk * 1000:.0f} ms chunks (truth {truth!r})")
+    session = WorkspaceSession(
+        runner.pad, tile_count=tile_count, session_id="live",
+        provisional=args.provisional,
+    )
+    chunk_iters = [list(iter_chunks(lg, args.chunk)) for lg in tile_logs]
+    for i in range(max((len(c) for c in chunk_iters), default=0)):
+        for tile, chunks in enumerate(chunk_iters):
+            if i < len(chunks):
+                _print_stream_events(session.ingest_tile(tile, chunks[i]))
+    _print_stream_events(session.finalize())
+    stitched = session.stitched_windows
+    print(f"stitched {sum(len(w) for w in session.tile_windows)} per-tile "
+          f"windows into {len(stitched)} workspace windows")
+    from .rfid.reports import merge_logs
+
+    err = runner.stitched_trajectory_error(merge_logs(tile_logs), script)
+    if err is not None:
+        print(f"stitched trajectory error: {err * 100:.2f} cm")
     return 0
 
 
@@ -244,14 +323,25 @@ def cmd_replay(args: argparse.Namespace) -> int:
                 "this recording",
                 args.path, key, session_value, static_value,
             )
-    pad = RFIPad(GridLayout(rows=args.rows, cols=args.cols))
+    tiles_x, tiles_y = _workspace_tiles(args)
+    tile_count = tiles_x * tiles_y
+    # A tiled capture is replayed against the combined workspace grid:
+    # --rows/--cols describe one tile, the workspace multiplies them.
+    pad = RFIPad(
+        GridLayout(rows=args.rows * tiles_y, cols=args.cols * tiles_x)
+    )
     pad.calibrate_from(load_log(static_path))
     print(f"replaying {args.path}: {len(log)} reads, metadata {meta}")
     if args.stream:
         from .sim.live import stream_log
-        from .stream import StreamingSession
+        from .stream import StreamingSession, WorkspaceSession
 
-        session = StreamingSession(pad, provisional=args.provisional)
+        if tile_count > 1:
+            session = WorkspaceSession(
+                pad, tile_count=tile_count, provisional=args.provisional
+            )
+        else:
+            session = StreamingSession(pad, provisional=args.provisional)
         for ev in stream_log(pad, log, args.chunk, session=session):
             _print_stream_events([ev])
         result = session.letter_result
@@ -447,7 +537,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return 2
     get_metrics().enable()
     get_tracer().enable()
-    runner = _make_runner(args)  # calibrates the pad every session shares
+    tiles_x, tiles_y = _workspace_tiles(args)
+    tile_count = tiles_x * tiles_y
+    if tile_count > 1:
+        # Calibrates the combined workspace pad every session shares.
+        runner = _make_workspace_runner(args)
+    else:
+        runner = _make_runner(args)  # calibrates the pad every session shares
     try:
         config = HubConfig(
             host=args.host,
@@ -460,7 +556,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
-    hub = SessionHub(runner.pad, config, scenario_meta=_scenario_metadata(args))
+    hub = SessionHub(
+        runner.pad, config, scenario_meta=_scenario_metadata(args),
+        tiles=tile_count,
+    )
 
     tele = None
     http_server = None
@@ -695,6 +794,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --stream: also print final=False previews of the "
              "still-forming stroke window and in-progress letter",
     )
+    p_replay.add_argument(
+        "--workspace", type=_parse_workspace, default=None, metavar="TXxTY",
+        help="replay against a tiled workspace, e.g. 2x1; --rows/--cols "
+             "describe one tile (default: single pad)",
+    )
 
     p_live = sub.add_parser(
         "live",
@@ -714,6 +818,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--provisional", action="store_true",
         help="also print final=False previews of the still-forming stroke "
              "window and in-progress letter",
+    )
+    p_live.add_argument(
+        "--workspace", type=_parse_workspace, default=None, metavar="TXxTY",
+        help="simulate a tiled workspace, e.g. 2x1, streaming per-tile "
+             "chunks through the cross-pad stitching layer",
+    )
+    p_live.add_argument(
+        "--dwell", type=float, default=0.05,
+        help="with --workspace: per-tile antenna dwell in seconds "
+             "(default 0.05)",
     )
 
     p_stats = sub.add_parser(
@@ -839,6 +953,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_hub.add_argument(
         "--rules", default="",
         help="JSON health-rule file for /healthz (default: built-in rules)",
+    )
+    p_hub.add_argument(
+        "--workspace", type=_parse_workspace, default=None, metavar="TXxTY",
+        help="serve tiled workspace sessions (e.g. 2x1): each tenant feeds "
+             "N pad tiles over one connection via per-tile chunk routing",
+    )
+    p_hub.add_argument(
+        "--dwell", type=float, default=0.05,
+        help="per-tile reader dwell in seconds for --workspace (default 0.05)",
     )
 
     p_feed = sub.add_parser(

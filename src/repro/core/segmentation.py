@@ -251,6 +251,40 @@ def _split_valleys(
     return out
 
 
+def stitch_windows(
+    tile_windows: "List[List[SegmentedWindow]]",
+    gap: float = SegmentationConfig().merge_gap_s,
+) -> List[SegmentedWindow]:
+    """Merge per-tile stroke windows into workspace-level windows.
+
+    When a trajectory crosses a tile boundary each tile sees only its
+    half of the stroke, so the per-tile segmenters emit overlapping (or
+    nearly adjacent) windows.  Stitching is the same closure rule
+    :func:`_merge_close` applies within one pad — windows whose gap is
+    ``<= gap`` coalesce, keeping the max peak — generalized to inputs
+    from several tiles, whose windows may overlap or nest arbitrarily
+    rather than arriving disjoint and sorted.  One tile's windows pass
+    through unchanged, so the 1x1 workspace stitches to exactly its own
+    segmentation.
+    """
+    windows = sorted(
+        (w for tile in tile_windows for w in tile),
+        key=lambda w: (w.t0, w.t1),
+    )
+    out: List[SegmentedWindow] = []
+    for w in windows:
+        if out and w.t0 - out[-1].t1 <= gap:
+            last = out[-1]
+            out[-1] = SegmentedWindow(
+                last.t0,
+                max(last.t1, w.t1),
+                max(last.peak_std_rms, w.peak_std_rms),
+            )
+        else:
+            out.append(w)
+    return out
+
+
 def _merge_close(segments: List[SegmentedWindow], gap: float) -> List[SegmentedWindow]:
     if not segments:
         return []

@@ -11,22 +11,37 @@ independent antenna + tag array + environment) served round-robin with a
 configurable dwell time.  Each port's report log looks like a normal —
 just sparser — RFIPad stream, so the per-pad pipelines run unchanged; the
 ``ext_multipad`` experiment measures what the duty-cycling costs.
+
+The dwell plan is computed up front by :class:`DwellScheduler`, a pure
+function of ``(port_count, dwell_s, duration)``.  That buys two
+invariants the workspace layer depends on:
+
+* **1x1 degeneracy** — a single-port schedule is ONE contiguous slice
+  covering the whole duration, so the port's reader consumes its RNG in
+  exactly the same inventory-round boundaries as a solo
+  ``reader.collect(duration)``: the log is bit-identical, not just
+  statistically equivalent.
+* **Deterministic dwell accounting** — per-port dwell totals come from
+  the plan, not from timing side effects, so they are identical no
+  matter how many workers (``REPRO_WORKERS``) run trials around the
+  multiplexed collect.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from ..physics.antenna import ReaderAntenna
-from ..physics.hand import HandPose
 from ..physics.multipath import Environment
 from ..physics.noise import ReceiverNoise
 from .deployment import TagArray
 from .reader import HandPoseFn, Reader, ReaderConfig
 from .reports import ReportLog
+
+_MIN_DWELL_S = 1e-6
 
 
 @dataclass
@@ -38,13 +53,80 @@ class ReaderPort:
     environment: Optional[Environment] = None
 
 
+@dataclass(frozen=True)
+class DwellSlice:
+    """One scheduled stretch of inventory on one port."""
+
+    port: int
+    t0: float
+    t1: float
+
+    @property
+    def duration(self) -> float:
+        return self.t1 - self.t0
+
+
+class DwellScheduler:
+    """Round-robin dwell planning, as pure data.
+
+    ``plan(duration)`` returns the exact slice sequence a collect will
+    execute; ``dwell_totals(duration)`` integrates it per port.  Both are
+    deterministic functions of the constructor arguments and
+    ``duration`` — no clocks, no RNG — which is what makes multi-pad
+    dwell accounting reproducible across worker counts.
+    """
+
+    def __init__(self, port_count: int, dwell_s: float) -> None:
+        if port_count < 1:
+            raise ValueError("need at least one port")
+        if dwell_s <= 0.0:
+            raise ValueError("dwell must be positive")
+        self.port_count = port_count
+        self.dwell_s = dwell_s
+
+    def plan(self, duration: float) -> List[DwellSlice]:
+        if duration <= 0.0:
+            raise ValueError("duration must be positive")
+        # A solo port never benefits from switching; keeping the whole
+        # duration as one slice preserves the inventory-round (and hence
+        # RNG-stream) boundaries of an unmultiplexed reader exactly.
+        if self.port_count == 1:
+            return [DwellSlice(port=0, t0=0.0, t1=duration)]
+        slices: List[DwellSlice] = []
+        t = 0.0
+        port = 0
+        while t < duration:
+            dwell = min(self.dwell_s, duration - t)
+            if dwell > _MIN_DWELL_S:
+                slices.append(DwellSlice(port=port, t0=t, t1=t + dwell))
+            t += dwell
+            port = (port + 1) % self.port_count
+        return slices
+
+    def dwell_totals(self, duration: float) -> List[float]:
+        """Seconds of inventory each port receives over ``duration``."""
+        totals = [0.0] * self.port_count
+        for s in self.plan(duration):
+            totals[s.port] += s.duration
+        return totals
+
+
 class MultiplexedReader:
     """Round-robin time multiplexing over several reader ports.
 
-    All ports share one RF front end (one ``ReaderConfig``) and one RNG,
-    mirroring a real multi-antenna reader.  ``dwell_s`` is the time spent
-    on each port before switching; commodity readers default to a few
-    hundred milliseconds per antenna.
+    All ports share one RF front end (one ``ReaderConfig``); commodity
+    readers default to a few hundred milliseconds per antenna
+    (``dwell_s``).  By default the ports also share one RNG, mirroring a
+    real reader's single pseudo-random inventory engine; passing
+    ``rngs`` gives each port an independent stream, which decouples the
+    ports statistically (used by workspaces, where each tile must stay
+    bit-identical to its solo-pad twin regardless of what the other
+    tiles are doing).
+
+    Each per-port reader is engine-backed exactly like a solo reader:
+    ``Reader`` builds its vectorized ``ChannelEngine`` (with the
+    per-deployment ``static_base`` precompute) and round-batched
+    inventory per port unless the scalar-path env overrides are set.
     """
 
     def __init__(
@@ -54,13 +136,16 @@ class MultiplexedReader:
         noise: ReceiverNoise = ReceiverNoise(),
         rng: Optional[np.random.Generator] = None,
         dwell_s: float = 0.25,
+        rngs: Optional[Sequence[np.random.Generator]] = None,
     ) -> None:
         if not ports:
             raise ValueError("need at least one port")
-        if dwell_s <= 0.0:
-            raise ValueError("dwell must be positive")
+        if rngs is not None and len(rngs) != len(ports):
+            raise ValueError(
+                f"need {len(ports)} per-port rngs, got {len(rngs)}"
+            )
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.dwell_s = dwell_s
+        self.scheduler = DwellScheduler(len(ports), dwell_s)
         self.readers: List[Reader] = [
             Reader(
                 p.antenna,
@@ -76,14 +161,27 @@ class MultiplexedReader:
                 ),
                 p.environment,
                 noise,
-                rng=self.rng,
+                rng=rngs[i] if rngs is not None else self.rng,
             )
             for i, p in enumerate(ports)
         ]
 
     @property
+    def dwell_s(self) -> float:
+        return self.scheduler.dwell_s
+
+    @property
     def port_count(self) -> int:
         return len(self.readers)
+
+    @property
+    def vectorized(self) -> bool:
+        """True when every port runs the batched channel engine."""
+        return all(r._engine is not None for r in self.readers)
+
+    def dwell_totals(self, duration: float) -> List[float]:
+        """Planned per-port inventory seconds for a collect of ``duration``."""
+        return self.scheduler.dwell_totals(duration)
 
     def collect(
         self,
@@ -100,20 +198,16 @@ class MultiplexedReader:
             raise ValueError(
                 f"need {self.port_count} pose callbacks, got {len(pose_fns)}"
             )
-        if duration <= 0.0:
-            raise ValueError("duration must be positive")
         logs = [ReportLog() for _ in self.readers]
-        t = 0.0
-        port = 0
-        while t < duration:
-            dwell = min(self.dwell_s, duration - t)
-            if dwell > 1e-6:
-                self.readers[port].collect(
-                    dwell,
-                    pose_fns[port],
-                    start_time=t,
-                    log=logs[port],
-                )
-            t += dwell
-            port = (port + 1) % self.port_count
+        for s in self.scheduler.plan(duration):
+            self.readers[s.port].collect(
+                s.duration,
+                pose_fns[s.port],
+                start_time=s.t0,
+                log=logs[s.port],
+            )
         return logs
+
+    def collect_static(self, duration: float) -> List[ReportLog]:
+        """Quiet-scene collect on every port (calibration traffic)."""
+        return self.collect(duration, [None] * self.port_count)

@@ -373,3 +373,21 @@ class ReportLog:
         if d <= 0.0:
             return 0.0
         return len(self) / d
+
+
+def merge_logs(logs: Sequence["ReportLog"]) -> "ReportLog":
+    """Merge per-port logs into one time-sorted workspace log.
+
+    Concatenates the column views of every non-empty input (in input
+    order) and stable-sorts on timestamp, so reads that tie on timestamp
+    keep the input-port ordering — the same tie rule ``ReportLog`` itself
+    uses.  Per-row antenna ports and EPCs survive the merge, which is
+    what lets workspace-level consumers attribute any read back to its
+    tile.  A single non-empty input merges to a value-identical log.
+    """
+    live = [log.columns() for log in logs if len(log)]
+    if not live:
+        return ReportLog()
+    cols = [np.concatenate([c[i] for c in live]) for i in range(7)]
+    order = np.argsort(cols[0], kind="stable")
+    return ReportLog._from_columns(*(c[order] for c in cols))

@@ -61,6 +61,8 @@ __all__ = [
     "chunk_message",
     "decode_chunk",
     "encode_frame",
+    "t_hi_of",
+    "tile_of",
 ]
 
 #: Ceiling on one frame's body; a length prefix beyond this is corruption
@@ -141,7 +143,10 @@ class FrameDecoder:
 
 
 def chunk_message(
-    session: str, chunk: ReportLog
+    session: str,
+    chunk: ReportLog,
+    tile: Optional[int] = None,
+    t_hi: Optional[float] = None,
 ) -> Tuple[Dict[str, object], bytes]:
     """Build the ``chunk`` message for one report chunk.
 
@@ -149,6 +154,13 @@ def chunk_message(
     numeric columns ride as one contiguous little-endian float64 block;
     tag indices are exactly recoverable from their float64 image (they
     are tiny integers), matching the shared-memory transport's layout.
+
+    Workspace tenants route per-tile streams over the same message by
+    setting ``tile`` (0-based tile number) and optionally ``t_hi`` — the
+    tile's watermark, vouching that no later chunk from this tile will
+    carry reads at or before it.  Both keys are simply absent for
+    ordinary single-pad sessions, so old clients and servers interop
+    unchanged.
     """
     ts, tag, phase, rss, dopp, port, epc = chunk.columns()
     block = np.empty((_N_COLS, ts.size), dtype="<f8")
@@ -164,7 +176,23 @@ def chunk_message(
         "port": int(port[0]) if port.size else 1,
         "epcs": {str(t): e for t, e in epc_map_of(tag, epc).items()},
     }
+    if tile is not None:
+        header["tile"] = int(tile)
+    if t_hi is not None:
+        header["t_hi"] = float(t_hi)
     return header, block.tobytes()
+
+
+def tile_of(header: Dict[str, object]) -> Optional[int]:
+    """The ``tile`` field of a chunk message, if present (else ``None``)."""
+    tile = header.get("tile")
+    return int(tile) if tile is not None else None  # type: ignore[arg-type]
+
+
+def t_hi_of(header: Dict[str, object]) -> Optional[float]:
+    """The ``t_hi`` watermark of a chunk message, if present."""
+    t_hi = header.get("t_hi")
+    return float(t_hi) if t_hi is not None else None  # type: ignore[arg-type]
 
 
 def decode_chunk(

@@ -54,13 +54,21 @@ from ..obs.log import get_logger
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
 from ..rfid.reports import ReportLog
-from ..stream import LetterEvent, StreamEvent, StreamingSession, StrokeEvent
+from ..stream import (
+    LetterEvent,
+    StreamEvent,
+    StreamingSession,
+    StrokeEvent,
+    WorkspaceSession,
+)
 from .framing import (
     FrameDecoder,
     FramingError,
     chunk_message,
     decode_chunk,
     encode_frame,
+    t_hi_of,
+    tile_of,
 )
 
 __all__ = ["BackgroundHub", "DROP_POLICIES", "HubConfig", "LocalFeed", "SessionHub"]
@@ -120,14 +128,18 @@ class _HubSession:
     def __init__(
         self,
         sid: str,
-        stream: StreamingSession,
+        stream: "StreamingSession | WorkspaceSession",
         sender: Callable[["_HubSession", List[StreamEvent], bool], None],
         writer: Optional[asyncio.StreamWriter],
     ) -> None:
         self.sid = sid
         self.stream = stream
-        #: Pending chunks: (enqueue_wall, (ts, tag, phase, rss, dopp), epcs, port).
-        self.pending: List[Tuple[float, tuple, List[str], int]] = []
+        #: Pending chunks: (enqueue_wall, (ts, tag, phase, rss, dopp),
+        #: epcs, port, tile, t_hi) — tile/t_hi are None for single-pad
+        #: tenants.
+        self.pending: List[
+            Tuple[float, tuple, List[str], int, Optional[int], Optional[float]]
+        ] = []
         self.pending_reads = 0
         self.finalize_pending = False
         self.finalize_wall: Optional[float] = None
@@ -157,6 +169,12 @@ class SessionHub:
         ``hello`` metadata, mismatches are returned as warnings in the
         ``welcome`` frame (a session recorded on a different rig will be
         scored against the wrong calibration).
+    tiles:
+        Tile count of the workspace the hub's pad was calibrated against
+        (1 = ordinary single-pad hub).  When > 1, every session is a
+        :class:`~repro.stream.WorkspaceSession` and tenants may route
+        per-tile chunk streams via the ``tile``/``t_hi`` header keys of
+        :func:`~repro.serve.framing.chunk_message`.
     """
 
     def __init__(
@@ -164,8 +182,12 @@ class SessionHub:
         pad: RFIPad,
         config: Optional[HubConfig] = None,
         scenario_meta: Optional[Dict[str, object]] = None,
+        tiles: int = 1,
     ) -> None:
+        if tiles < 1:
+            raise ValueError("tiles must be >= 1")
         self.pad = pad
+        self.tiles = tiles
         self.config = config if config is not None else HubConfig()
         self.scenario_meta = dict(scenario_meta) if scenario_meta else None
         self._log = get_logger("serve.hub")
@@ -285,9 +307,13 @@ class SessionHub:
             raise RuntimeError("hub is draining; not accepting sessions")
         if sid in self._sessions:
             raise ValueError(f"session {sid!r} is already open")
-        stream = StreamingSession(
-            self.pad, session_id=sid if self.config.label_sessions else None
-        )
+        label = sid if self.config.label_sessions else None
+        if self.tiles > 1:
+            stream: "StreamingSession | WorkspaceSession" = WorkspaceSession(
+                self.pad, tile_count=self.tiles, session_id=label
+            )
+        else:
+            stream = StreamingSession(self.pad, session_id=label)
         sess = _HubSession(sid, stream, sender, writer)
         self._sessions[sid] = sess
         self._sessions_opened += 1
@@ -303,6 +329,8 @@ class SessionHub:
         columns: tuple,
         epcs: List[str],
         port: int,
+        tile: Optional[int] = None,
+        t_hi: Optional[float] = None,
     ) -> bool:
         """Enqueue one decoded chunk under the session's queue policy.
 
@@ -330,7 +358,7 @@ class SessionHub:
                     return False
                 continue
             if cfg.drop_policy == "oldest":
-                wall, cols, _, _ = sess.pending.pop(0)
+                wall, cols, *_rest = sess.pending.pop(0)
                 shed_reads = int(cols[0].size)
                 sess.pending_reads -= shed_reads
                 self._queue_depth -= 1
@@ -343,7 +371,7 @@ class SessionHub:
                 return False
             break
         rows = int(columns[0].size)
-        sess.pending.append((time.monotonic(), columns, epcs, port))
+        sess.pending.append((time.monotonic(), columns, epcs, port, tile, t_hi))
         sess.pending_reads += rows
         self._queue_depth += 1
         if metrics.enabled:
@@ -491,10 +519,14 @@ class SessionHub:
     ) -> List[Tuple[_HubSession, List[StreamEvent], bool]]:
         """Worker-side: run the numpy stages for one micro-batch.
 
-        Each session's pending chunks are coalesced into **one** ingest
-        call — legal because the finalized stream is chunking-invariant —
-        which amortizes the per-ingest segmenter/stage dispatch across
-        everything that queued since the session was last served.
+        Each single-pad session's pending chunks are coalesced into
+        **one** ingest call — legal because the finalized stream is
+        chunking-invariant — which amortizes the per-ingest
+        segmenter/stage dispatch across everything that queued since the
+        session was last served.  Workspace sessions are instead ingested
+        chunk-by-chunk in arrival order: each chunk routes to its tile's
+        watermark merge, which does its own buffering, so coalescing
+        across tiles would reorder the per-tile streams for nothing.
         """
         cfg = self.config
         metrics = get_metrics()
@@ -508,10 +540,23 @@ class SessionHub:
                 events: List[StreamEvent] = []
                 oldest_wall: Optional[float] = None
                 try:
-                    if chunks:
+                    if chunks and isinstance(sess.stream, WorkspaceSession):
+                        oldest_wall = chunks[0][0]
+                        for _, cols, epcs, port, tile, t_hi in chunks:
+                            log = ReportLog()
+                            if cols[0].size:
+                                log.extend_columns(*cols, epcs, antenna_port=port)
+                            total_reads += int(cols[0].size)
+                            if tile is not None:
+                                events.extend(
+                                    sess.stream.ingest_tile(tile, log, t_hi=t_hi)
+                                )
+                            else:
+                                events.extend(sess.stream.ingest(log))
+                    elif chunks:
                         oldest_wall = chunks[0][0]
                         coalesced = ReportLog()
-                        for _, cols, epcs, port in chunks:
+                        for _, cols, epcs, port, _tile, _t_hi in chunks:
                             if cols[0].size:
                                 coalesced.extend_columns(
                                     *cols, epcs, antenna_port=port
@@ -599,7 +644,10 @@ class SessionHub:
             sess = self._resolve(conn_sessions, header)
             columns_epcs = decode_chunk(header, payload)
             ts, tag, phase, rss, dopp, epcs, port = columns_epcs
-            await self.submit_chunk(sess, (ts, tag, phase, rss, dopp), epcs, port)
+            await self.submit_chunk(
+                sess, (ts, tag, phase, rss, dopp), epcs, port,
+                tile=tile_of(header), t_hi=t_hi_of(header),
+            )
             return
         if mtype == "finalize":
             sess = self._resolve(conn_sessions, header)
@@ -722,6 +770,20 @@ class LocalFeed:
             int(port[0]) if port.size else 1,
         )
 
+    async def feed_tile(
+        self, chunk: ReportLog, tile: int, t_hi: Optional[float] = None
+    ) -> bool:
+        """Submit one tile's chunk to a workspace-bound hub session."""
+        ts, tag, phase, rss, dopp, port, epc = chunk.columns()
+        return await self._hub.submit_chunk(
+            self.session,
+            (ts, tag, phase, rss, dopp),
+            list(epc),
+            int(port[0]) if port.size else 1,
+            tile=tile,
+            t_hi=t_hi,
+        )
+
     async def finalize(self) -> List[StreamEvent]:
         """End the stream and wait for every remaining event."""
         self._hub.request_finalize(self.session)
@@ -746,8 +808,11 @@ class BackgroundHub:
         pad: RFIPad,
         config: Optional[HubConfig] = None,
         scenario_meta: Optional[Dict[str, object]] = None,
+        tiles: int = 1,
     ) -> None:
-        self.hub = SessionHub(pad, config=config, scenario_meta=scenario_meta)
+        self.hub = SessionHub(
+            pad, config=config, scenario_meta=scenario_meta, tiles=tiles
+        )
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ready = threading.Event()
         self._failure: Optional[BaseException] = None

@@ -365,3 +365,105 @@ class SessionRunner:
             self, letters, repeats, user=user, workers=n_workers,
             collect_logs=collect_logs,
         )
+
+
+class WorkspaceRunner:
+    """Session runner over a tiled workspace (DESIGN.md §15).
+
+    Same trial surface as :class:`SessionRunner`, but the report stream
+    comes from the workspace's duty-cycled multiplexed reader, merged
+    across tiles, and the pipeline is calibrated against the *combined*
+    layout.  For a 1x1 workspace every log this runner produces is
+    bit-identical to ``SessionRunner`` over ``build_scenario(base)``.
+    """
+
+    def __init__(
+        self,
+        workspace=None,
+        pipeline_config: Optional[RFIPadConfig] = None,
+        calibration_duration: float = 3.0,
+    ) -> None:
+        from .workspace import build_workspace
+
+        self.workspace = workspace if workspace is not None else build_workspace()
+        self.pad = RFIPad(self.workspace.combined_layout, config=pipeline_config)
+        static = self.workspace.collect_static(calibration_duration)
+        self.pad.calibrate_from(static)
+        self.static_log = static
+
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.workspace.rng
+
+    def run_script(self, script: WritingScript) -> ReportLog:
+        """Collect the merged workspace report stream for one session."""
+        return self.workspace.collect_script(script)
+
+    def run_motion(
+        self,
+        motion: Motion,
+        user: UserProfile = DEFAULT_USER,
+        speed: Optional[float] = None,
+        keep_log: bool = False,
+    ) -> MotionTrial:
+        with get_tracer().span("trial.motion", truth=motion.label) as sp:
+            script = script_for_motion(motion, self.rng, user=user, speed=speed)
+            log = self.run_script(script)
+            observed = self.pad.detect_motion(log)
+            trial = MotionTrial(truth=motion, observed=observed, log_size=len(log))
+            if keep_log:
+                trial.log = log
+            sp.set(
+                observed=observed.label if observed is not None else None,
+                correct=trial.fully_correct,
+                reads=len(log),
+            )
+        SessionRunner._note_motion_trial(trial)
+        return trial
+
+    def run_letter(
+        self, letter: str, user: UserProfile = DEFAULT_USER, keep_log: bool = False
+    ) -> LetterTrial:
+        with get_tracer().span("trial.letter", truth=letter.upper()) as sp:
+            script = script_for_letter(letter, self.rng, user=user)
+            log = self.run_script(script)
+            result = self.pad.recognize_letter(log)
+            trial = LetterTrial(
+                truth=letter.upper(),
+                result=result,
+                true_stroke_intervals=script.stroke_intervals(),
+                true_stroke_tokens=tuple(
+                    s.shape_token for s in LETTER_STROKES[letter.upper()]
+                ),
+            )
+            if keep_log:
+                trial.log = log
+            sp.set(observed=result.letter, correct=trial.correct, reads=len(log))
+        SessionRunner._note_letter_trial(trial)
+        return trial
+
+    def stitched_trajectory_error(
+        self, log: ReportLog, script: WritingScript
+    ) -> Optional[float]:
+        """Fig. 25's Kinect trajectory-error metric, workspace-wide.
+
+        Reconstructs the trajectory from the *merged* log against the
+        combined layout — tags carry global indices, so anchors from
+        different tiles land in one workspace frame — and scores it
+        against the script's ground-truth path.  This is the stitch-
+        quality number: a seam between tiles shows up directly as added
+        mean xy error.  Returns None when too few troughs anchor a
+        trajectory or the estimate doesn't overlap the reference.
+        """
+        from ..core.direction import detect_troughs
+        from ..core.trajectory import reconstruct_trajectory, trajectory_error
+
+        troughs = detect_troughs(log, self.pad.calibration)
+        estimate = reconstruct_trajectory(troughs, self.workspace.combined_layout)
+        if estimate is None:
+            return None
+        reference = [(p.t, p.position) for p in script.true_trajectory(dt=0.05)]
+        try:
+            return trajectory_error(estimate, reference)
+        except ValueError:
+            return None

@@ -22,7 +22,7 @@ from ..physics.coupling import TAG_DESIGN_B, TagAntennaProfile
 from ..physics.geometry import GridLayout, Vec3, rotate_about_y
 from ..physics.multipath import Environment, location_preset
 from ..physics.noise import ReceiverNoise
-from ..rfid.deployment import TagArray, deploy_array
+from ..rfid.deployment import TagArray, WorkspaceLayout, deploy_array, deploy_tile
 from ..rfid.reader import Reader, ReaderConfig
 
 
@@ -87,14 +87,8 @@ class Scenario:
         )
 
 
-def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
-    """Construct the deployment described by ``config`` (seeded)."""
-    rng = np.random.default_rng(config.seed)
-    layout = GridLayout(rows=config.rows, cols=config.cols, pitch=config.tag_pitch)
-    array = deploy_array(
-        rng, layout, design=config.tag_design, alternate_facing=config.alternate_facing
-    )
-
+def _place_antenna(config: ScenarioConfig) -> ReaderAntenna:
+    """The reader antenna's pose relative to a pad's own centre."""
     if config.mount == "nlos":
         # Behind the board, boresight through the plane towards the user.
         base_pos = Vec3(0.0, 0.0, -config.reader_distance)
@@ -108,15 +102,54 @@ def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
     if angle != 0.0:
         boresight = rotate_about_y(boresight, angle)
 
-    antenna = ReaderAntenna(
+    return ReaderAntenna(
         position=base_pos, boresight=boresight, gain_dbi=config.antenna_gain_dbi
     )
-    environment = location_preset(config.location)
+
+
+def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
+    """Construct the deployment described by ``config`` (seeded)."""
+    rng = np.random.default_rng(config.seed)
+    layout = GridLayout(rows=config.rows, cols=config.cols, pitch=config.tag_pitch)
+    array = deploy_array(
+        rng, layout, design=config.tag_design, alternate_facing=config.alternate_facing
+    )
     return Scenario(
         config=config,
         layout=layout,
         array=array,
-        antenna=antenna,
-        environment=environment,
+        antenna=_place_antenna(config),
+        environment=location_preset(config.location),
+        rng=rng,
+    )
+
+
+def build_tile_scenario(
+    config: ScenarioConfig,
+    workspace: WorkspaceLayout,
+    tile: int,
+) -> Scenario:
+    """Build one workspace tile's deployment, in the tile's local frame.
+
+    Tile ``k`` is seeded ``config.seed + k`` so tiles carry independent
+    manufacture diversity; tile 0 uses the base seed, which together with
+    the local-frame antenna placement makes the 1x1 workspace's tile a
+    bit-identical twin of ``build_scenario(config)`` (the only difference
+    is the tags' global EPC/index rewrite, the identity for 1x1).
+    """
+    if (config.rows, config.cols) != (workspace.rows, workspace.cols) or \
+            config.tag_pitch != workspace.pitch:
+        raise ValueError("scenario grid must match the workspace tile grid")
+    rng = np.random.default_rng(config.seed + tile)
+    array = deploy_tile(
+        rng, workspace, tile,
+        design=config.tag_design, alternate_facing=config.alternate_facing,
+    )
+    return Scenario(
+        config=config,
+        layout=workspace.tile_layout(),
+        array=array,
+        antenna=_place_antenna(config),
+        environment=location_preset(config.location),
         rng=rng,
     )

@@ -4,6 +4,18 @@ See :mod:`repro.stream.session` for the equivalence and retention
 contracts, and DESIGN.md §11 for the architecture.
 """
 
-from .session import LetterEvent, StreamEvent, StreamingSession, StrokeEvent
+from .session import (
+    LetterEvent,
+    StreamEvent,
+    StreamingSession,
+    StrokeEvent,
+    WorkspaceSession,
+)
 
-__all__ = ["LetterEvent", "StreamEvent", "StreamingSession", "StrokeEvent"]
+__all__ = [
+    "LetterEvent",
+    "StreamEvent",
+    "StreamingSession",
+    "StrokeEvent",
+    "WorkspaceSession",
+]

@@ -41,18 +41,27 @@ unlabeled aggregate gauges keep reflecting the most recent activity.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
+import numpy as np
+
 from ..core.events import LetterResult, SegmentedWindow, StrokeObservation
 from ..core.pipeline import RFIPad
-from ..core.segmentation import StreamSegmenter
+from ..core.segmentation import StreamSegmenter, stitch_windows
 from ..core.stages import GrammarStage, StageContext, WindowAnalyzer, widest_window
 from ..obs.metrics import get_metrics
 from ..obs.trace import get_tracer
-from ..rfid.reports import ReportLog
+from ..rfid.reports import ReportLog, merge_logs
 
-__all__ = ["LetterEvent", "StreamEvent", "StreamingSession", "StrokeEvent"]
+__all__ = [
+    "LetterEvent",
+    "StreamEvent",
+    "StreamingSession",
+    "StrokeEvent",
+    "WorkspaceSession",
+]
 
 
 @dataclass(frozen=True)
@@ -344,3 +353,221 @@ class StreamingSession:
                 "stream.event_latency_s", max(0.0, now - window.t1)
             )
         return event
+
+
+class WorkspaceSession:
+    """Streaming recognition over a tiled workspace (DESIGN.md §15).
+
+    N per-tile report streams come in via :meth:`ingest_tile`; one
+    workspace-level event stream comes out.  Internally a watermark merge
+    re-serializes the tile streams into global time order — a tile's
+    reads are held until *every* tile's watermark has passed them — and
+    feeds one inner :class:`StreamingSession` running against the
+    combined-layout pad, so stroke windows that span a tile boundary
+    close exactly as they would on the batch-merged log.
+
+    The per-tile watermark is the newest timestamp the tile has vouched
+    for: the last read of each chunk, or an explicit ``t_hi`` (which also
+    lets an idle tile heartbeat the merge forward with empty chunks).
+    Nothing is released until every tile has spoken at least once — a
+    silent tile's first chunk may still carry arbitrarily old reads — so
+    a tenant with a genuinely idle tile should heartbeat it; in the
+    worst case :meth:`finalize` flushes everything held.
+
+    For ``tile_count == 1`` the session is a pure pass-through to the
+    inner :class:`StreamingSession` — no buffering, no extra state — so
+    the 1x1 workspace's streamed events are bit-identical to today's
+    single-pad stream.  For multi-tile workspaces, per-tile diagnostic
+    segmenters additionally track what each tile would have said alone;
+    :attr:`stitched_windows` merges those via
+    :func:`~repro.core.segmentation.stitch_windows` to expose the
+    boundary-crossing seams the workspace pipeline healed.
+
+    When ``session_id`` is set, per-tile gauges are published as
+    ``stream.tile_buffered_reads{session=..., tile=...}``; they carry the
+    session label, so the serving hub's existing
+    ``remove_labeled({"session": sid})`` sweep reclaims them when the
+    tenant disconnects.
+    """
+
+    def __init__(
+        self,
+        pad: RFIPad,
+        tile_count: int,
+        bounded: bool = True,
+        session_id: Optional[str] = None,
+        provisional: bool = False,
+    ) -> None:
+        if tile_count < 1:
+            raise ValueError("workspace needs at least one tile")
+        self.tile_count = tile_count
+        self.session_id = session_id
+        self._inner = StreamingSession(
+            pad, bounded=bounded, session_id=session_id,
+            provisional=provisional,
+        )
+        self._pending: List[ReportLog] = [ReportLog() for _ in range(tile_count)]
+        self._marks: List[float] = [-math.inf] * tile_count
+        self._released = -math.inf
+        if tile_count > 1:
+            ctx = pad.stage_context()
+            self._tile_segmenters: List[Optional[StreamSegmenter]] = [
+                pad.stages.segmentation.stream(ctx) for _ in range(tile_count)
+            ]
+            self._tile_windows: List[List[SegmentedWindow]] = [
+                [] for _ in range(tile_count)
+            ]
+        else:
+            self._tile_segmenters = []
+            self._tile_windows = []
+
+    # -- ingestion -----------------------------------------------------
+
+    def ingest_tile(
+        self, tile: int, chunk: ReportLog, t_hi: Optional[float] = None
+    ) -> List[StreamEvent]:
+        """Feed one tile's next time-ordered chunk; returns the workspace
+        events it unlocked (possibly none, if other tiles lag)."""
+        if not 0 <= tile < self.tile_count:
+            raise ValueError(f"tile {tile} outside 0..{self.tile_count - 1}")
+        if self.tile_count == 1:
+            return self._inner.ingest(chunk)
+        ts, tag, phase, rss, dopp, port, epc = chunk.columns()
+        if ts.size:
+            self._pending[tile].extend_columns(
+                ts, tag, phase, rss, dopp, epc, antenna_port=int(port[0])
+            )
+            self._segment_tile(tile, ts, tag, phase)
+            self._marks[tile] = max(self._marks[tile], float(ts[-1]))
+        if t_hi is not None:
+            self._marks[tile] = max(self._marks[tile], float(t_hi))
+        self._note_tile(tile)
+        return self._release()
+
+    def ingest(self, chunk: ReportLog) -> List[StreamEvent]:
+        """Single-stream compatibility: route a merged chunk by port.
+
+        Ports are 1-based tile numbers on a workspace's multiplexed
+        reader; a chunk whose reads all share one port is an ordinary
+        tile chunk, and a mixed chunk (a replayed merged log) is split
+        per port.  The chunk's last timestamp vouches for *all* tiles —
+        a merged stream is globally ordered, so every tile is implicitly
+        up to date."""
+        if self.tile_count == 1:
+            return self._inner.ingest(chunk)
+        ts, tag, phase, rss, dopp, port, epc = chunk.columns()
+        events: List[StreamEvent] = []
+        if ts.size:
+            t_hi = float(ts[-1])
+            for p in np.unique(port):
+                tile = int(p) - 1
+                mask = port == p
+                sub = ReportLog()
+                sub.extend_columns(
+                    ts[mask], tag[mask], phase[mask], rss[mask],
+                    dopp[mask], epc[mask], antenna_port=int(p),
+                )
+                events.extend(self.ingest_tile(tile, sub))
+            for tile in range(self.tile_count):
+                events.extend(self.ingest_tile(tile, ReportLog(), t_hi=t_hi))
+        return events
+
+    def finalize(self) -> List[StreamEvent]:
+        """Flush every tile's held reads and close the inner session."""
+        if self.tile_count == 1:
+            return self._inner.finalize()
+        tail = merge_logs(self._pending)
+        self._pending = [ReportLog() for _ in range(self.tile_count)]
+        events: List[StreamEvent] = []
+        if len(tail):
+            events.extend(self._inner.ingest(tail))
+        for tile, seg in enumerate(self._tile_segmenters):
+            if seg is not None:
+                self._tile_windows[tile].extend(seg.finalize())
+        events.extend(self._inner.finalize())
+        return events
+
+    # -- results -------------------------------------------------------
+
+    @property
+    def events(self) -> List[StreamEvent]:
+        return self._inner.events
+
+    @property
+    def windows(self) -> List[SegmentedWindow]:
+        return self._inner.windows
+
+    @property
+    def strokes(self) -> List[StrokeObservation]:
+        return self._inner.strokes
+
+    @property
+    def letter_result(self) -> Optional[LetterResult]:
+        return self._inner.letter_result
+
+    def motion_result(self) -> Optional[StrokeObservation]:
+        return self._inner.motion_result()
+
+    @property
+    def buffered_reads(self) -> int:
+        """Inner retention buffer plus reads still held at the merge."""
+        held = sum(len(p) for p in self._pending)
+        return self._inner.buffered_reads + held
+
+    @property
+    def retention_time(self) -> Optional[float]:
+        return self._inner.retention_time
+
+    @property
+    def tile_windows(self) -> List[List[SegmentedWindow]]:
+        """Each tile's solo segmentation (diagnostic; [] per tile for 1x1)."""
+        return [list(ws) for ws in self._tile_windows]
+
+    @property
+    def stitched_windows(self) -> List[SegmentedWindow]:
+        """What per-tile segmentation + cross-tile stitching yields.
+
+        Diagnostic view: the workspace pipeline itself segments the
+        merged stream directly (``windows``); this property shows the
+        same strokes as assembled from each tile's solo segmentation, so
+        tests and experiments can score the stitch against the merged
+        truth.  Empty for single-tile sessions (nothing to stitch).
+        """
+        if self.tile_count == 1:
+            return []
+        return stitch_windows(self._tile_windows)
+
+    # -- internals -----------------------------------------------------
+
+    def _segment_tile(
+        self, tile: int, ts: np.ndarray, tag: np.ndarray, phase: np.ndarray
+    ) -> None:
+        seg = self._tile_segmenters[tile]
+        if seg is not None:
+            self._tile_windows[tile].extend(seg.ingest(ts, tag, phase))
+
+    def _release(self) -> List[StreamEvent]:
+        """Forward all reads every tile's watermark has passed."""
+        safe = min(self._marks)
+        if not safe > self._released or math.isinf(safe):
+            return []
+        self._released = safe
+        # Inclusive cut: a tile's watermark vouches for reads *at* it.
+        cut = float(np.nextafter(safe, math.inf))
+        ready = merge_logs(
+            [p.slice_time(-math.inf, cut) for p in self._pending]
+        )
+        for p in self._pending:
+            p.drop_before(cut)
+        if not len(ready):
+            return []
+        return self._inner.ingest(ready)
+
+    def _note_tile(self, tile: int) -> None:
+        metrics = get_metrics()
+        if metrics.enabled and self.session_id is not None:
+            metrics.set_gauge(
+                "stream.tile_buffered_reads",
+                float(len(self._pending[tile])),
+                labels={"session": self.session_id, "tile": str(tile)},
+            )

@@ -96,3 +96,69 @@ def test_config_validation():
         SegmentationConfig(window_frames=1)
     with pytest.raises(ValueError):
         SegmentationConfig(threshold=-0.1)
+
+
+# ----------------------------------------------------------------------
+# Cross-tile window stitching (workspace layer, DESIGN.md §15).
+
+
+def _w(t0, t1, peak=1.0):
+    from repro.core.events import SegmentedWindow
+
+    return SegmentedWindow(t0=t0, t1=t1, peak_std_rms=peak)
+
+
+def test_stitch_empty_and_single_tile_passthrough():
+    from repro.core.segmentation import stitch_windows
+
+    assert stitch_windows([]) == []
+    assert stitch_windows([[], []]) == []
+    windows = [_w(0.1, 0.5), _w(1.0, 1.4)]
+    assert stitch_windows([windows]) == windows
+
+
+def test_stitch_merges_overlapping_windows_across_tiles():
+    from repro.core.segmentation import stitch_windows
+
+    merged = stitch_windows([[_w(0.1, 0.6, peak=2.0)], [_w(0.4, 0.9, peak=3.0)]])
+    assert len(merged) == 1
+    assert merged[0].t0 == 0.1
+    assert merged[0].t1 == 0.9
+    assert merged[0].peak_std_rms == 3.0  # max over the merged pair
+
+
+def test_stitch_merges_nearly_adjacent_keeps_distant():
+    from repro.core.segmentation import stitch_windows
+
+    gap = SegmentationConfig().merge_gap_s
+    merged = stitch_windows(
+        [[_w(0.0, 0.5), _w(5.0, 5.5)], [_w(0.5 + gap / 2, 1.0)]]
+    )
+    assert len(merged) == 2
+    assert (merged[0].t0, merged[0].t1) == (0.0, 1.0)
+    assert (merged[1].t0, merged[1].t1) == (5.0, 5.5)
+
+
+def test_stitch_handles_nested_windows():
+    from repro.core.segmentation import stitch_windows
+
+    merged = stitch_windows([[_w(0.0, 2.0, peak=1.0)], [_w(0.5, 1.0, peak=4.0)]])
+    assert merged == [_w(0.0, 2.0, peak=4.0)]
+
+
+def test_stitch_output_sorted_and_disjoint():
+    from repro.core.segmentation import stitch_windows
+
+    rng = np.random.default_rng(5)
+    tiles = []
+    for _ in range(3):
+        starts = np.sort(rng.uniform(0.0, 20.0, size=8))
+        tiles.append([_w(float(t0), float(t0 + rng.uniform(0.2, 1.5))) for t0 in starts])
+    gap = SegmentationConfig().merge_gap_s
+    merged = stitch_windows(tiles)
+    for prev, cur in zip(merged, merged[1:]):
+        assert cur.t0 > prev.t1 + gap
+    # Every input window lies inside some stitched window.
+    for tile in tiles:
+        for w in tile:
+            assert any(m.t0 <= w.t0 and w.t1 <= m.t1 for m in merged)

@@ -1,0 +1,134 @@
+"""Workspace tenants on the serving hub: per-tile routing and hygiene.
+
+A hub built with ``tiles=N`` binds every session to a
+:class:`~repro.stream.session.WorkspaceSession`; chunks carry an optional
+``tile`` header key and route into the cross-tile watermark merge.  The
+finalized event stream must equal the batch pipeline on the merged
+workspace log, and the per-tile labeled gauges must vanish when the
+session closes (the hub's ``remove_labeled`` sweep).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.motion.script import script_for_letter
+from repro.obs.metrics import MetricsRegistry, scoped_metrics
+from repro.rfid.reports import merge_logs
+from repro.serve import HubConfig, LocalFeed, SessionHub
+from repro.stream import LetterEvent
+from repro.sim.live import iter_chunks
+from repro.sim.runner import WorkspaceRunner
+from repro.sim.scenario import ScenarioConfig
+from repro.sim.workspace import WorkspaceConfig, build_workspace
+
+from ..stream.test_equivalence import assert_letter_equal
+
+
+def run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+@pytest.fixture(scope="module")
+def ws_runner():
+    return WorkspaceRunner(
+        build_workspace(WorkspaceConfig(base=ScenarioConfig(seed=7), tiles_x=2))
+    )
+
+
+@pytest.fixture(scope="module")
+def tile_capture(ws_runner):
+    script = script_for_letter("L", ws_runner.rng)
+    tile_logs = ws_runner.workspace.collect_tiles(script.duration, script)
+    merged = merge_logs(tile_logs)
+    return tile_logs, merged, ws_runner.pad.recognize_letter(merged)
+
+
+def test_tiles_validated(ws_runner):
+    with pytest.raises(ValueError):
+        SessionHub(ws_runner.pad, HubConfig(port=0), tiles=0)
+
+
+def test_workspace_tenant_matches_batch(ws_runner, tile_capture):
+    tile_logs, _, batch = tile_capture
+
+    async def main():
+        hub = SessionHub(ws_runner.pad, HubConfig(port=0), tiles=2)
+        await hub.start(serve_network=False)
+        feed = LocalFeed(hub, "ws-tenant")
+        chunks = [list(iter_chunks(log, 0.2)) for log in tile_logs]
+        for step in range(max(len(c) for c in chunks)):
+            for tile, tile_chunks in enumerate(chunks):
+                if step < len(tile_chunks):
+                    await feed.feed_tile(tile_chunks[step], tile)
+        events = await feed.finalize()
+        await hub.stop()
+        return events
+
+    events = run(main())
+    finals = [e for e in events if isinstance(e, LetterEvent)]
+    assert finals
+    assert_letter_equal(finals[-1].result, batch)
+
+
+def test_untagged_chunks_route_by_port(ws_runner, tile_capture):
+    _, merged, batch = tile_capture
+
+    async def main():
+        hub = SessionHub(ws_runner.pad, HubConfig(port=0), tiles=2)
+        await hub.start(serve_network=False)
+        feed = LocalFeed(hub, "merged-tenant")
+        for chunk in iter_chunks(merged, 0.25):
+            await feed.feed(chunk)
+        events = await feed.finalize()
+        await hub.stop()
+        return events
+
+    events = run(main())
+    finals = [e for e in events if isinstance(e, LetterEvent)]
+    assert finals
+    assert_letter_equal(finals[-1].result, batch)
+
+
+def test_per_tile_gauges_removed_at_close(ws_runner, tile_capture):
+    tile_logs, _, _ = tile_capture
+
+    async def main(scoped):
+        hub = SessionHub(ws_runner.pad, HubConfig(port=0), tiles=2)
+        await hub.start(serve_network=False)
+        feed = LocalFeed(hub, "ws-gauges")
+        for tile, log in enumerate(tile_logs):
+            for chunk in iter_chunks(log, 0.5):
+                await feed.feed_tile(chunk, tile)
+        # The worker thread publishes the labeled gauges asynchronously.
+        mid = []
+        for _ in range(500):
+            mid = [
+                k
+                for k in scoped.snapshot()["gauges"]
+                if "stream.tile_buffered_reads" in k and 'session="ws-gauges"' in k
+            ]
+            if len(mid) == 2:
+                break
+            await asyncio.sleep(0.01)
+        await feed.finalize()
+        await hub.stop()
+        return mid
+
+    with scoped_metrics(MetricsRegistry(enabled=True)) as scoped:
+        mid = run(main(scoped))
+        # One gauge per tile while the session was live...
+        assert len(mid) == 2
+        assert any('tile="0"' in k for k in mid)
+        assert any('tile="1"' in k for k in mid)
+        # ...and none once it closed: remove_labeled swept the session.
+        after = [
+            k
+            for k in scoped.snapshot()["gauges"]
+            if 'session="ws-gauges"' in k
+        ]
+        assert after == []
